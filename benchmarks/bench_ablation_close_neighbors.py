@@ -1,0 +1,37 @@
+"""Benchmark ABL1 — close-neighbour ablation (design choice of Section 3.1).
+
+The close-neighbour sets exist so routing keeps terminating cheaply when
+many objects crowd a small area.  This ablation compares clustered overlays
+with and without them: removing the sets must never make routing *better*,
+and it strips the per-object state the sets cost.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_close_neighbors import (
+    format_ablation_close,
+    run_ablation_close,
+)
+
+
+def test_ablation_close_neighbors(benchmark, bench_scale):
+    """Measure routing with and without the cn(o) sets on clustered data."""
+    result = run_once(benchmark, run_ablation_close, scale=bench_scale)
+    print()
+    print(format_ablation_close(result))
+
+    for workload, variants in result.routing.items():
+        with_cn = variants["with-cn"]
+        without_cn = variants["without-cn"]
+        benchmark.extra_info[f"{workload}_with_cn_mean"] = round(with_cn.mean, 2)
+        benchmark.extra_info[f"{workload}_without_cn_mean"] = round(without_cn.mean, 2)
+        # Routing never fails either way (greedy on the Delaunay graph always
+        # terminates), and keeping the close neighbours never hurts.
+        assert with_cn.failures == 0
+        assert without_cn.failures == 0
+        assert with_cn.mean <= without_cn.mean * 1.05, workload
+        # The sets are what costs view space on clustered data.
+        assert (result.mean_view_size[workload]["with-cn"]
+                >= result.mean_view_size[workload]["without-cn"]), workload

@@ -1,0 +1,39 @@
+"""Benchmark ABL2 — VoroNet against its baselines.
+
+Positions VoroNet against the systems the paper situates itself relative
+to: the bare Delaunay overlay (no long links), a random-shortcut overlay
+(no harmonic distribution), the original Kleinberg grid (regular placements
+only) and a Chord DHT (hash-based exact match; range queries degenerate to
+one lookup per value).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_baselines import (
+    format_baseline_comparison,
+    run_baseline_comparison,
+)
+
+
+def test_baseline_comparison(benchmark, bench_scale):
+    """Compare routing cost and range-query cost across systems."""
+    result = run_once(benchmark, run_baseline_comparison, scale=bench_scale)
+    print()
+    print(format_baseline_comparison(result))
+
+    for system, hops in result.mean_hops.items():
+        benchmark.extra_info[f"{system}_mean_hops"] = round(hops, 2)
+    for system, rate in result.success_rate.items():
+        benchmark.extra_info[f"{system}_success"] = round(rate, 3)
+
+    # The long links are what buys the speed-up over the bare tessellation.
+    assert result.mean_hops["voronet"] < result.mean_hops["delaunay-only"]
+    # Uniformly random shortcuts are not navigable: greedy gets stuck.
+    assert result.success_rate["random-graph"] < 1.0
+    assert result.success_rate["voronet"] == 1.0
+    # Range queries: VoroNet's spread along the tessellation costs far fewer
+    # messages than a DHT's one-lookup-per-value enumeration.
+    assert (result.range_query_messages["voronet"]
+            < result.range_query_messages["chord"])

@@ -1,0 +1,30 @@
+"""Benchmark FIG5 — reproduces Figure 5 (Voronoi out-degree histograms).
+
+Paper: 300 000-object overlays under uniform and α=5 placements; the
+out-degree histogram is centred around 6 regardless of the distribution.
+This benchmark regenerates the histograms (all four evaluation
+distributions) and records the summary statistics.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig5_degree import format_fig5, run_fig5
+
+
+def test_fig5_degree_distribution(benchmark, bench_scale):
+    """Regenerate Figure 5 and check its qualitative claims."""
+    result = run_once(benchmark, run_fig5, scale=bench_scale)
+    print()
+    print(format_fig5(result))
+
+    for name, summary in result.summaries.items():
+        benchmark.extra_info[f"{name}_mean_degree"] = round(summary.mean, 3)
+        benchmark.extra_info[f"{name}_mode"] = summary.mode
+        # Figure 5 claim: the histogram is centred around 6 for every
+        # distribution, skewed or not.
+        assert 5.0 <= summary.mean <= 6.0, name
+        assert 4 <= summary.mode <= 7, name
+        assert summary.fraction_between(3, 9) > 0.9, name
+    benchmark.extra_info["overlay_size"] = result.overlay_size

@@ -1,0 +1,41 @@
+"""Benchmark FIG6 — reproduces Figure 6 (route length vs overlay size).
+
+Paper: mean greedy route length over 100 000 random object pairs, measured
+every 10 000 joins up to 300 000 objects, for the uniform and power-law
+(α = 1, 2, 5) distributions with one long link per object.  The curves grow
+poly-logarithmically and are essentially independent of the distribution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fig6_routes import format_fig6, run_fig6
+
+
+def test_fig6_route_lengths(benchmark, bench_scale):
+    """Regenerate Figure 6 and check its qualitative claims."""
+    result = run_once(benchmark, run_fig6, scale=bench_scale)
+    print()
+    print(format_fig6(result))
+
+    largest = result.checkpoints[-1]
+    smallest = result.checkpoints[0]
+    for name, points in result.series.items():
+        series = [p.mean_hops for p in points]
+        benchmark.extra_info[f"{name}_final_mean_hops"] = round(series[-1], 2)
+        # Poly-log growth: hops grow far slower than sqrt(N).
+        growth = series[-1] / max(series[0], 1e-9)
+        assert growth < math.sqrt(largest / smallest), name
+        # Routes stay comfortably below the sqrt(N) Delaunay-walk regime.
+        assert series[-1] < math.sqrt(largest), name
+
+    # Distribution insensitivity: no distribution is dramatically worse than
+    # uniform (the paper's curves almost coincide; skew may only help at
+    # small scale, see EXPERIMENTS.md).
+    uniform_final = result.series["uniform"][-1].mean_hops
+    for name, points in result.series.items():
+        assert points[-1].mean_hops < 1.6 * uniform_final, name
+    benchmark.extra_info["checkpoints"] = result.checkpoints

@@ -1,0 +1,35 @@
+"""Benchmark FIG8 — reproduces Figure 8 (number of long links vs routing).
+
+Paper: with 1 to 10 long-range links per object (uniform and α=5
+placements), routing improves consistently with the number of links, the
+gain being most significant up to about 6 links.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig8_longlinks import format_fig8, run_fig8
+
+
+def test_fig8_long_link_count(benchmark, bench_scale):
+    """Regenerate Figure 8 and check its qualitative claims."""
+    result = run_once(benchmark, run_fig8, scale=bench_scale)
+    print()
+    print(format_fig8(result))
+
+    for name in result.results:
+        series = result.mean_hops(name)
+        benchmark.extra_info[f"{name}_hops_by_k"] = [round(v, 2) for v in series]
+        one_link = series[0]
+        six_links = result.results[name][6].mean
+        ten_links = result.results[name][result.link_counts[-1]].mean
+        # More long links help substantially...
+        assert six_links < one_link, name
+        assert ten_links < one_link, name
+        # ...but the marginal gain beyond ~6 links is small compared to the
+        # gain achieved by the first six (diminishing returns).
+        gain_to_six = one_link - six_links
+        gain_beyond_six = six_links - ten_links
+        assert gain_beyond_six < gain_to_six, name
+    benchmark.extra_info["overlay_size"] = result.overlay_size

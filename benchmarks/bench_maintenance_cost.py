@@ -1,0 +1,44 @@
+"""Benchmark ABL3 — join/leave maintenance cost (Section 4.2 claims).
+
+Joins cost a poly-logarithmic routing phase plus an O(1) maintenance phase;
+leaves cost O(1) messages outright.  The oracle-mode accounting is checked
+against the message-level protocol simulator.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ablation_maintenance import (
+    format_maintenance,
+    run_maintenance_experiment,
+)
+
+
+def test_maintenance_cost(benchmark, bench_scale):
+    """Measure join/leave message costs across overlay sizes."""
+    result = run_once(benchmark, run_maintenance_experiment, scale=bench_scale)
+    print()
+    print(format_maintenance(result))
+
+    sizes = result.sizes
+    benchmark.extra_info["sizes"] = sizes
+    benchmark.extra_info["join_messages"] = {
+        s: round(result.join_messages[s], 1) for s in sizes}
+    benchmark.extra_info["leave_messages"] = {
+        s: round(result.leave_messages[s], 1) for s in sizes}
+    benchmark.extra_info["protocol_join_messages"] = round(
+        result.protocol_join_messages, 1)
+
+    smallest, largest = sizes[0], sizes[-1]
+    size_ratio = largest / smallest
+    # Join cost = routing (poly-log) + O(1): growing the overlay 8x must not
+    # grow the join cost anywhere near 8x.
+    assert result.join_messages[largest] < result.join_messages[smallest] * size_ratio / 2
+    # Leave cost is O(1): it must stay essentially flat across sizes.
+    assert result.leave_messages[largest] < result.leave_messages[smallest] * 2 + 5
+    # The protocol-mode ground truth agrees with the oracle accounting within
+    # a small constant factor.
+    oracle_join = result.join_messages[result.protocol_size]
+    assert result.protocol_join_messages < 6 * oracle_join
+    assert oracle_join < 6 * result.protocol_join_messages

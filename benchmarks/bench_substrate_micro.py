@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrates backing the experiments.
+
+Not a paper figure: these measure the raw cost of the operations every
+experiment is built from (Delaunay insertion, point location, greedy
+routing, a full distributed join), so regressions in the kernels show up
+directly in ``pytest-benchmark``'s timing statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.routing import route_to_object
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.simulation.protocol import ProtocolSimulator
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_objects
+
+
+@pytest.fixture(scope="module")
+def overlay_1k():
+    overlay = VoroNet(VoroNetConfig(n_max=4000, seed=404))
+    positions = generate_objects(UniformDistribution(), 1000, RandomSource(404))
+    overlay.insert_many(positions)
+    return overlay
+
+
+def test_delaunay_insert_1000_points(benchmark):
+    """Time building a 1 000-point Delaunay triangulation incrementally."""
+    points = generate_objects(UniformDistribution(), 1000, RandomSource(1))
+
+    def build():
+        dt = DelaunayTriangulation()
+        previous = None
+        for p in points:
+            previous = dt.insert(p, hint=previous)
+        return dt
+
+    dt = benchmark(build)
+    assert len(dt) == 1000
+
+
+def test_delaunay_nearest_vertex(benchmark, overlay_1k):
+    """Time point location (nearest vertex) on a 1 000-object tessellation."""
+    queries = generate_objects(UniformDistribution(), 200, RandomSource(2))
+    kernel = overlay_1k.triangulation
+
+    def locate_all():
+        return [kernel.nearest_vertex(q) for q in queries]
+
+    owners = benchmark(locate_all)
+    assert len(owners) == 200
+
+
+def test_greedy_route_on_1k_overlay(benchmark, overlay_1k):
+    """Time a batch of 200 greedy routes on a 1 000-object overlay."""
+    rng = RandomSource(3)
+    ids = overlay_1k.object_ids()
+    pairs = [(ids[rng.integer(0, len(ids))], ids[rng.integer(0, len(ids))])
+             for _ in range(200)]
+
+    def route_all():
+        return [route_to_object(overlay_1k, a, b).hops for a, b in pairs if a != b]
+
+    hops = benchmark(route_all)
+    assert all(h >= 0 for h in hops)
+
+
+def test_overlay_join_throughput(benchmark):
+    """Time publishing 300 objects into a fresh overlay (routing + maintenance)."""
+    positions = generate_objects(UniformDistribution(), 300, RandomSource(4))
+
+    def build():
+        overlay = VoroNet(VoroNetConfig(n_max=1200, seed=4))
+        overlay.insert_many(positions)
+        return overlay
+
+    overlay = benchmark(build)
+    assert len(overlay) == 300
+
+
+def test_protocol_join_messages(benchmark):
+    """Time 60 message-level distributed joins (event engine + protocol)."""
+    positions = generate_objects(UniformDistribution(), 60, RandomSource(5))
+
+    def build():
+        simulator = ProtocolSimulator(VoroNetConfig(n_max=256, seed=5), seed=5)
+        for p in positions:
+            simulator.join(p)
+        return simulator
+
+    simulator = benchmark(build)
+    assert len(simulator) == 60

@@ -1,0 +1,36 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark wraps one experiment driver from :mod:`repro.experiments`.
+The drivers are deterministic and expensive, so each benchmark runs exactly
+one round (``pedantic`` mode) and records the scientific results — the
+numbers that correspond to the paper's figures — in ``extra_info`` so they
+are preserved in ``pytest-benchmark``'s JSON output, in addition to being
+printed to the terminal (run with ``-s`` to see them live).
+
+The workload sizes follow the scaled-down defaults documented in
+``EXPERIMENTS.md``; set ``REPRO_BENCH_SCALE`` to grow them towards paper
+scale (≈ 50–75).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Default scale of benchmark workloads (can be overridden by the
+#: ``REPRO_BENCH_SCALE`` environment variable, which the experiment drivers
+#: read directly).
+DEFAULT_BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Scale factor applied to every benchmark workload."""
+    return DEFAULT_BENCH_SCALE
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer and return it."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Attribute-range search: the workload the paper motivates VoroNet with.
+
+The introduction's argument is that hash-based DHTs only support exact
+matches, while an object network whose identifiers *are* the attribute
+values supports range search natively.  This example builds a skewed
+"publication catalogue" (year × normalised citation count), runs range and
+segment queries against VoroNet, and contrasts the message cost with what a
+Chord DHT needs for the same selectivity (one lookup per discrete value of
+the range).
+
+Run with::
+
+    python examples/range_query_search.py
+"""
+
+from __future__ import annotations
+
+from repro import VoroNet, VoroNetConfig, range_query, segment_query
+from repro.baselines.chord import ChordRing
+from repro.geometry.bounding import BoundingBox
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import PowerLawDistribution
+from repro.workloads.generators import generate_objects
+
+
+def build_catalogue(num_objects: int, seed: int) -> VoroNet:
+    """A skewed catalogue: most objects cluster around popular attribute values."""
+    overlay = VoroNet(VoroNetConfig(n_max=4 * num_objects, seed=seed))
+    positions = generate_objects(
+        PowerLawDistribution(alpha=2.0, cells_per_axis=16), num_objects,
+        RandomSource(seed))
+    overlay.insert_many(positions)
+    return overlay
+
+
+def main() -> None:
+    overlay = build_catalogue(num_objects=2_000, seed=11)
+    print(f"catalogue holds {len(overlay)} objects "
+          f"(skewed power-law placement, α = 2)\n")
+
+    # ------------------------------------------------------------------
+    # Two-attribute range query.
+    # ------------------------------------------------------------------
+    box = BoundingBox(0.30, 0.60, 0.45, 0.80)
+    result = range_query(overlay, box)
+    print("range query: attribute0 ∈ [0.30, 0.45], attribute1 ∈ [0.60, 0.80]")
+    print(f"  matches        : {len(result.matches)} objects")
+    print(f"  routing phase  : {result.route.messages} messages")
+    print(f"  spreading phase: {result.spread_messages} messages "
+          f"(over {len(result.visited)} participating objects)")
+    print(f"  total          : {result.total_messages} messages\n")
+
+    # ------------------------------------------------------------------
+    # One-attribute range query = a segment in the attribute space.
+    # ------------------------------------------------------------------
+    a, b = (0.20, 0.50), (0.80, 0.50)
+    seg = segment_query(overlay, a, b)
+    print("segment query: attribute0 ∈ [0.20, 0.80] at attribute1 = 0.50")
+    print(f"  regions crossed: {len(seg.matches)}")
+    print(f"  total messages : {seg.total_messages}\n")
+
+    # ------------------------------------------------------------------
+    # What would a DHT pay?  One lookup per discrete attribute value.
+    # ------------------------------------------------------------------
+    ring = ChordRing(bits=24)
+    for i in range(len(overlay)):
+        ring.join(f"peer-{i}")
+    # A DHT has no attribute locality: it must look up every *possible*
+    # discrete value the ranged attribute can take in [0.30, 0.45] — whether
+    # or not any object holds that value.  With a modest catalogue resolution
+    # of 256 distinct values per attribute that is ~38 independent lookups.
+    value_granularity = 256
+    values_in_range = max(1, int(round((0.45 - 0.30) * value_granularity)))
+    values = [f"attribute-value-{i}" for i in range(values_in_range)]
+    chord_messages, _ = ring.range_query_cost(values)
+    print("the same range on a Chord DHT (one lookup per possible value):")
+    print(f"  values to enumerate: {values_in_range}")
+    print(f"  total messages     : {chord_messages}")
+    ratio = chord_messages / max(1, result.total_messages)
+    print(f"  VoroNet advantage  : {ratio:.1f}× fewer messages "
+          "(and the gap widens with finer-grained attributes)\n")
+
+    # ------------------------------------------------------------------
+    # Range size sweep: VoroNet's cost tracks the answer size.
+    # ------------------------------------------------------------------
+    print("range-extent sweep (VoroNet messages vs matches):")
+    print(f"  {'extent':>8} {'matches':>8} {'messages':>9}")
+    for extent in (0.05, 0.1, 0.2, 0.4):
+        sweep_box = BoundingBox(0.3, 0.3, 0.3 + extent, 0.3 + extent)
+        sweep = range_query(overlay, sweep_box)
+        print(f"  {extent:>8.2f} {len(sweep.matches):>8} {sweep.total_messages:>9}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+"""Routing-cost measurement: the Figures 6 and 8 machinery.
+
+The paper measures "mean route lengths for 100 000 random couples of
+different objects in the overlay, computed after every 10 000 adds of
+objects" — i.e. a sweep over overlay sizes, with a batch of random-pair
+greedy routes measured at each size.  :func:`measure_routing` performs one
+such batch; :func:`sweep_overlay_sizes` grows an overlay through a size
+schedule, measuring at every checkpoint, and is the common engine behind
+the Figure 6, 7 and 8 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.overlay import VoroNet
+from repro.core.routing import route_to_object
+from repro.utils.rng import RandomSource
+from repro.workloads.generators import generate_routing_pairs
+
+__all__ = ["HopStatistics", "RoutingSweepPoint", "measure_routing", "sweep_overlay_sizes"]
+
+
+@dataclass(frozen=True)
+class HopStatistics:
+    """Summary of one batch of measured routes."""
+
+    samples: int
+    mean: float
+    median: float
+    p95: float
+    maximum: int
+    failures: int
+
+    @classmethod
+    def from_hops(cls, hops: Sequence[int], failures: int = 0) -> "HopStatistics":
+        """Build the summary from a raw list of per-route hop counts."""
+        if len(hops) == 0:
+            return cls(samples=0, mean=0.0, median=0.0, p95=0.0, maximum=0,
+                       failures=failures)
+        array = np.asarray(hops, dtype=np.float64)
+        return cls(
+            samples=int(array.size),
+            mean=float(array.mean()),
+            median=float(np.median(array)),
+            p95=float(np.percentile(array, 95)),
+            maximum=int(array.max()),
+            failures=failures,
+        )
+
+
+@dataclass(frozen=True)
+class RoutingSweepPoint:
+    """One checkpoint of a size sweep: overlay size plus its hop statistics."""
+
+    size: int
+    stats: HopStatistics
+
+    @property
+    def mean_hops(self) -> float:
+        return self.stats.mean
+
+
+def measure_routing(overlay: VoroNet, num_pairs: int, rng: RandomSource, *,
+                    use_long_links: bool = True) -> HopStatistics:
+    """Measure greedy-route lengths between random pairs of distinct objects."""
+    ids = overlay.object_ids()
+    pairs = generate_routing_pairs(ids, num_pairs, rng)
+    hops: List[int] = []
+    failures = 0
+    for source, destination in pairs:
+        result = route_to_object(overlay, source, destination,
+                                 use_long_links=use_long_links)
+        if result.success:
+            hops.append(result.hops)
+        else:
+            failures += 1
+    return HopStatistics.from_hops(hops, failures=failures)
+
+
+def sweep_overlay_sizes(positions: Sequence, checkpoints: Sequence[int],
+                        rng: RandomSource, *,
+                        num_pairs: int = 1000,
+                        overlay_factory: Optional[Callable[[], VoroNet]] = None,
+                        use_long_links: bool = True,
+                        progress: Optional[Callable[[int], None]] = None
+                        ) -> List[RoutingSweepPoint]:
+    """Grow an overlay through ``checkpoints`` and measure routing at each.
+
+    Parameters
+    ----------
+    positions:
+        The full stream of object positions; ``max(checkpoints)`` of them are
+        consumed.
+    checkpoints:
+        Increasing overlay sizes at which a routing batch is measured (the
+        paper uses every 10 000 objects up to 300 000).
+    rng:
+        Random source for pair selection.
+    num_pairs:
+        Routes measured per checkpoint.
+    overlay_factory:
+        Callable building the (empty) overlay; defaults to a
+        :class:`VoroNet` dimensioned for the largest checkpoint.
+    use_long_links:
+        Disable to measure the Delaunay-only baseline on the same object
+        stream.
+    progress:
+        Optional callback invoked with each completed checkpoint size.
+    """
+    checkpoints = sorted(set(int(c) for c in checkpoints))
+    if not checkpoints:
+        raise ValueError("need at least one checkpoint")
+    largest = checkpoints[-1]
+    if len(positions) < largest:
+        raise ValueError(
+            f"need {largest} positions for the largest checkpoint, got {len(positions)}"
+        )
+    if overlay_factory is None:
+        overlay = VoroNet(n_max=max(largest, 2), seed=rng.integer(0, 2**31 - 1))
+    else:
+        overlay = overlay_factory()
+    results: List[RoutingSweepPoint] = []
+    inserted = 0
+    for checkpoint in checkpoints:
+        for index in range(inserted, checkpoint):
+            overlay.insert(positions[index])
+        inserted = checkpoint
+        stats = measure_routing(overlay, num_pairs, rng,
+                                use_long_links=use_long_links)
+        results.append(RoutingSweepPoint(size=checkpoint, stats=stats))
+        if progress is not None:
+            progress(checkpoint)
+    return results

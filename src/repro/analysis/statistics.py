@@ -1,0 +1,64 @@
+"""Summary-statistics helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "relative_change"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Basic summary statistics of a numeric sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise a numeric sample (empty samples give an all-zero summary)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return Summary(count=0, mean=0.0, std=0.0, minimum=0.0, p25=0.0,
+                       median=0.0, p75=0.0, p95=0.0, maximum=0.0)
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.median(array)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(array.max()),
+    )
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Relative change ``(value - baseline) / baseline`` (0 when baseline is 0)."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / baseline

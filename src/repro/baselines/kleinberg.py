@@ -1,0 +1,66 @@
+"""Kleinberg-grid baseline adapter.
+
+The original Kleinberg construction only applies when objects sit on a
+regular grid; this adapter exposes it through the same "insert objects,
+route between them, report hops" shape the comparison benchmark uses for
+the other systems, mapping grid nodes to unit-square coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.smallworld.kleinberg_grid import GridRouteResult, KleinbergGrid
+from repro.utils.rng import RandomSource
+
+__all__ = ["KleinbergBaseline"]
+
+
+class KleinbergBaseline:
+    """A Kleinberg grid presented as an object network over the unit square.
+
+    Parameters
+    ----------
+    n:
+        Grid side length; the network holds ``n²`` objects at the centres of
+        a regular ``n × n`` lattice over the unit square.
+    exponent:
+        Clustering exponent ``s``; 2 is the navigable value.
+    long_links_per_node:
+        Long-range contacts per node.
+    """
+
+    def __init__(self, n: int, *, exponent: float = 2.0,
+                 long_links_per_node: int = 1,
+                 rng: Optional[RandomSource] = None) -> None:
+        self._grid = KleinbergGrid(n, exponent=exponent,
+                                   long_links_per_node=long_links_per_node,
+                                   rng=rng or RandomSource())
+
+    @property
+    def grid(self) -> KleinbergGrid:
+        """The wrapped grid model."""
+        return self._grid
+
+    def __len__(self) -> int:
+        return self._grid.size
+
+    def object_ids(self) -> List[int]:
+        """Objects numbered row-major over the lattice."""
+        return list(range(self._grid.size))
+
+    def position_of(self, object_id: int) -> Tuple[float, float]:
+        """Unit-square coordinates of a grid object (cell centres)."""
+        row, col = divmod(object_id, self._grid.n)
+        return ((col + 0.5) / self._grid.n, (row + 0.5) / self._grid.n)
+
+    def route(self, source: int, destination: int) -> GridRouteResult:
+        """Greedy route between two objects (by their row-major ids)."""
+        src = divmod(source, self._grid.n)
+        dst = divmod(destination, self._grid.n)
+        return self._grid.greedy_route(src, dst)
+
+    def mean_route_length(self, num_pairs: int,
+                          rng: Optional[RandomSource] = None) -> float:
+        """Mean greedy route length over random object pairs."""
+        return self._grid.mean_route_length(num_pairs, rng)

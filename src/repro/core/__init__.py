@@ -1,0 +1,62 @@
+"""Core VoroNet overlay — the paper's primary contribution.
+
+The main entry point is :class:`repro.core.overlay.VoroNet`; the other
+modules implement its building blocks (configuration, per-object state,
+neighbour views, routing, long-range links, maintenance, queries).
+"""
+
+from repro.core.config import VoroNetConfig
+from repro.core.errors import (
+    DuplicateObjectError,
+    EmptyOverlayError,
+    ObjectNotFoundError,
+    OverlayFullError,
+    RoutingError,
+    VoroNetError,
+)
+from repro.core.long_range import choose_long_range_target, choose_long_range_targets
+from repro.core.neighbors import NeighborView
+from repro.core.node import BackLink, LongLink, ObjectNode
+from repro.core.overlay import VoroNet
+from repro.core.queries import (
+    QueryResult,
+    point_query,
+    radius_query,
+    range_query,
+    segment_query,
+)
+from repro.core.routing import (
+    RouteResult,
+    greedy_route,
+    route_to_object,
+    route_with_stopping_rule,
+)
+from repro.core.stats import OperationStats, OverlayStats
+
+__all__ = [
+    "VoroNet",
+    "VoroNetConfig",
+    "VoroNetError",
+    "ObjectNotFoundError",
+    "DuplicateObjectError",
+    "OverlayFullError",
+    "EmptyOverlayError",
+    "RoutingError",
+    "ObjectNode",
+    "LongLink",
+    "BackLink",
+    "NeighborView",
+    "RouteResult",
+    "greedy_route",
+    "route_to_object",
+    "route_with_stopping_rule",
+    "choose_long_range_target",
+    "choose_long_range_targets",
+    "QueryResult",
+    "point_query",
+    "range_query",
+    "radius_query",
+    "segment_query",
+    "OperationStats",
+    "OverlayStats",
+]

@@ -1,0 +1,54 @@
+"""Exception hierarchy of the VoroNet core."""
+
+from __future__ import annotations
+
+__all__ = [
+    "VoroNetError",
+    "ObjectNotFoundError",
+    "DuplicateObjectError",
+    "OverlayFullError",
+    "EmptyOverlayError",
+    "RoutingError",
+]
+
+
+class VoroNetError(Exception):
+    """Base class for every error raised by the overlay."""
+
+
+class ObjectNotFoundError(VoroNetError, KeyError):
+    """Raised when an operation references an object id not in the overlay."""
+
+    def __init__(self, object_id: int) -> None:
+        super().__init__(f"object {object_id} is not in the overlay")
+        self.object_id = object_id
+
+
+class DuplicateObjectError(VoroNetError, ValueError):
+    """Raised when inserting an object whose id or position already exists."""
+
+
+class OverlayFullError(VoroNetError, RuntimeError):
+    """Raised when inserting beyond the configured ``n_max``.
+
+    The paper's routing bound is only guaranteed up to ``N_max`` (the value
+    ``d_min`` was derived from); exceeding it silently would invalidate the
+    poly-logarithmic guarantee, so the overlay refuses by default.  The
+    configuration flag ``allow_overflow`` relaxes this for experiments on
+    the dynamic-``N_max`` perspective discussed in the paper's conclusion.
+    """
+
+    def __init__(self, n_max: int) -> None:
+        super().__init__(
+            f"overlay already holds n_max={n_max} objects; "
+            "increase n_max or enable allow_overflow"
+        )
+        self.n_max = n_max
+
+
+class EmptyOverlayError(VoroNetError, RuntimeError):
+    """Raised when routing or querying an overlay with no objects."""
+
+
+class RoutingError(VoroNetError, RuntimeError):
+    """Raised when greedy routing fails to make progress (should not happen)."""

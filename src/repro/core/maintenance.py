@@ -1,0 +1,202 @@
+"""Overlay maintenance: the local work around ``AddVoronoiRegion`` and
+``RemoveVoronoiRegion``.
+
+These functions implement Section 4.2's local procedures in the library's
+oracle execution mode: the shared Delaunay kernel plays the role of each
+object's topologically consistent local Voronoi computation (Sugihara–Iri
+in the paper), while this module performs the *protocol-visible* state
+changes — close-neighbour discovery, back-long-range hand-over, long-link
+re-delegation — and accounts for the messages the distributed version
+would exchange, so maintenance-cost experiments (ABL3) can report them.
+
+Message accounting follows the paper:
+
+* one message per Voronoi neighbour informed of its new region boundaries,
+* one message per close neighbour declared / notified of a departure,
+* one message per long link re-delegated (plus one to its source),
+* the routing phase of a join is counted separately by the overlay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, TYPE_CHECKING
+
+from repro.core.neighbors import compute_close_neighbors, register_close_neighbors
+from repro.core.node import BackLink
+from repro.geometry.point import distance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.overlay import VoroNet
+
+__all__ = ["integrate_new_object", "detach_object"]
+
+
+def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
+    """Complete the insertion of ``object_id`` after its region was carved.
+
+    Performs the non-routing part of ``AddVoronoiRegion`` executed by the
+    region owner in the paper:
+
+    1. every new Voronoi neighbour is informed of its updated region
+       boundaries (the kernel already updated the tessellation);
+    2. the close-neighbour set ``cn(object_id)`` is discovered through the
+       Voronoi neighbours (Lemma 1) and registered symmetrically;
+    3. back-long-range registrations whose target point now falls closer to
+       the new object than to their previous holder are handed over, and the
+       corresponding long links re-pointed at the new object.
+
+    Returns the number of messages the distributed protocol would exchange.
+    """
+    node = overlay.node(object_id)
+    voronoi_neighbors = overlay.voronoi_neighbors(object_id)
+    messages = len(voronoi_neighbors)  # region-update notifications
+
+    # Close neighbours (skipped entirely under the ABL1 ablation).
+    if overlay.config.maintain_close_neighbors:
+        close = compute_close_neighbors(overlay, object_id)
+        messages += register_close_neighbors(overlay, object_id, close)
+
+    # Back-long-range hand-over: only the new Voronoi neighbours can lose
+    # ownership of a long-link target to the new object, because the new
+    # region is carved exclusively out of theirs.
+    if overlay.config.maintain_back_links:
+        position = node.position
+        for neighbor_id in voronoi_neighbors:
+            neighbor = overlay.node(neighbor_id)
+            if not neighbor.back_links:
+                continue
+            stolen: List[BackLink] = []
+            for back_link in neighbor.back_links:
+                if distance(position, back_link.target) < distance(
+                        neighbor.position, back_link.target):
+                    stolen.append(back_link)
+            for back_link in stolen:
+                neighbor.remove_back_link(back_link.source, back_link.link_index)
+                node.add_back_link(back_link.source, back_link.link_index,
+                                   back_link.target)
+                source = overlay.node(back_link.source)
+                source.retarget_long_link(back_link.link_index, object_id)
+                messages += 2  # hand-over to the new holder + notify the source
+    return messages
+
+
+def detach_object(overlay: "VoroNet", object_id: int) -> int:
+    """Perform the protocol-visible work of ``RemoveVoronoiRegion``.
+
+    Must be called *before* the object is removed from the tessellation so
+    its Voronoi neighbours are still known.  The steps mirror Section 3.3 /
+    4.2.2:
+
+    1. Voronoi neighbours are informed of the new boundaries between them;
+    2. close neighbours are told about the departure (and drop the entry);
+    3. every long link registered at the departing object (its ``BLRn``) is
+       delegated to the Voronoi neighbour now closest to the link's target
+       point, and the link's source is re-pointed there (reachable thanks to
+       the back link);
+    4. the departing object's own long links are deregistered at their
+       endpoints.
+
+    Returns the number of messages the distributed protocol would exchange.
+    """
+    node = overlay.node(object_id)
+    voronoi_neighbors = overlay.voronoi_neighbors(object_id)
+    messages = len(voronoi_neighbors)  # boundary updates
+
+    # Close-neighbour notifications.
+    for close_id in list(node.close_neighbors):
+        if close_id in overlay:
+            overlay.node(close_id).discard_close_neighbor(object_id)
+            messages += 1
+    node.close_neighbors.clear()
+
+    # Delegate hosted long links to the neighbour now owning their target.
+    if overlay.config.maintain_back_links and node.back_links:
+        candidates = [nid for nid in voronoi_neighbors if nid in overlay]
+        for back_link in list(node.back_links):
+            source_id = back_link.source
+            if source_id not in overlay or source_id == object_id:
+                continue
+            if candidates:
+                new_holder_id = min(
+                    candidates,
+                    key=lambda nid: distance(overlay.position_of(nid), back_link.target),
+                )
+            elif len(overlay) > 1:
+                new_holder_id = min(
+                    (oid for oid in overlay.object_ids() if oid != object_id),
+                    key=lambda oid: distance(overlay.position_of(oid), back_link.target),
+                )
+            else:
+                continue
+            new_holder = overlay.node(new_holder_id)
+            new_holder.add_back_link(source_id, back_link.link_index, back_link.target)
+            overlay.node(source_id).retarget_long_link(back_link.link_index,
+                                                       new_holder_id)
+            messages += 2  # delegate to the neighbour + notify the source
+    node.back_links.clear()
+
+    # Deregister our own long links at their endpoints.
+    for index, link in enumerate(node.long_links):
+        endpoint = link.neighbor
+        if endpoint in overlay and endpoint != object_id:
+            overlay.node(endpoint).remove_back_link(object_id, index)
+            messages += 1
+    return messages
+
+
+def view_consistency_report(overlay: "VoroNet") -> List[str]:
+    """Check cross-object view invariants; returns a list of problems.
+
+    Verified invariants (used heavily by the test suite):
+
+    * close-neighbour symmetry, and every recorded close neighbour is really
+      within ``d_min``;
+    * every long link points at the object owning the region containing its
+      target point (i.e. the object closest to the target);
+    * every long link has a matching back registration at its endpoint, and
+      every back registration has a matching long link at its source.
+    """
+    problems: List[str] = []
+    d_min = overlay.config.effective_d_min
+    ids = overlay.object_ids()
+    for object_id in ids:
+        node = overlay.node(object_id)
+        for close_id in node.close_neighbors:
+            if close_id not in overlay:
+                problems.append(f"{object_id}: stale close neighbour {close_id}")
+                continue
+            if object_id not in overlay.node(close_id).close_neighbors:
+                problems.append(
+                    f"close-neighbour relation {object_id} → {close_id} not symmetric")
+            if distance(node.position, overlay.position_of(close_id)) > d_min * (1 + 1e-9):
+                problems.append(
+                    f"{object_id}: close neighbour {close_id} farther than d_min")
+        for index, link in enumerate(node.long_links):
+            if link.neighbor not in overlay:
+                problems.append(
+                    f"{object_id}: long link {index} points at departed {link.neighbor}")
+                continue
+            owner = overlay.owner_of(link.target)
+            if owner != link.neighbor:
+                problems.append(
+                    f"{object_id}: long link {index} points at {link.neighbor} "
+                    f"but {owner} owns its target")
+            endpoint = overlay.node(link.neighbor)
+            if overlay.config.maintain_back_links and link.neighbor != object_id:
+                if not any(bl.source == object_id and bl.link_index == index
+                           for bl in endpoint.back_links):
+                    problems.append(
+                        f"{object_id}: long link {index} missing back registration "
+                        f"at {link.neighbor}")
+        for back_link in node.back_links:
+            if back_link.source not in overlay:
+                problems.append(
+                    f"{object_id}: back link from departed {back_link.source}")
+                continue
+            source = overlay.node(back_link.source)
+            if (back_link.link_index >= len(source.long_links)
+                    or source.long_links[back_link.link_index].neighbor != object_id):
+                problems.append(
+                    f"{object_id}: back link from {back_link.source}#{back_link.link_index} "
+                    "does not match the source's long link")
+    return problems

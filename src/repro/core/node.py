@@ -1,0 +1,161 @@
+"""Per-object state of the overlay.
+
+Each application object published in VoroNet is represented by an
+:class:`ObjectNode` holding the parts of its *view* that are genuinely
+per-object state:
+
+* the ``k`` long-range links (target point + current endpoint object),
+* the back-long-range registrations (who points a long link at us, and at
+  which target point), needed to re-delegate links when we leave,
+* the close-neighbour set ``cn(o)`` (objects within ``d_min``),
+* bookkeeping metadata (join sequence number, hosting address).
+
+The Voronoi-neighbour set ``vn(o)`` is *not* duplicated here: in the
+library's "oracle" execution mode it is always derived from the shared
+Delaunay kernel so it can never drift out of sync; the message-level
+protocol simulator (:mod:`repro.simulation.protocol`) keeps its own fully
+local copies instead, as a real deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geometry.point import Point
+
+__all__ = ["LongLink", "BackLink", "ObjectNode"]
+
+
+@dataclass
+class LongLink:
+    """One long-range link of an object.
+
+    Attributes
+    ----------
+    target:
+        The long-link *target point* ``LRt`` drawn by Choose-LRT.  It is a
+        fixed point of the plane (possibly outside the unit square) and
+        never changes for the lifetime of the link.
+    neighbor:
+        The object currently responsible for the Voronoi region containing
+        ``target`` — the actual routing contact ``LRn``.  Re-delegated when
+        objects join or leave around the target point.
+    """
+
+    target: Point
+    neighbor: int
+
+    def as_tuple(self) -> Tuple[Point, int]:
+        return (self.target, self.neighbor)
+
+
+@dataclass(frozen=True)
+class BackLink:
+    """A reverse registration: ``source``'s ``link_index``-th long link points at us."""
+
+    source: int
+    link_index: int
+    target: Point
+
+
+@dataclass
+class ObjectNode:
+    """State stored at one overlay object.
+
+    Attributes
+    ----------
+    object_id:
+        Identifier of the object (stable across the object's lifetime).
+    position:
+        Coordinates in the attribute space; this *is* the object's overlay
+        identifier in the semantic sense of the paper.
+    host:
+        Opaque label of the physical node hosting the object (an "IP
+        address" stand-in; purely informational in the simulation).
+    long_links:
+        The object's outgoing long-range links, ``num_long_links`` of them.
+    back_links:
+        Reverse registrations of other objects' long links whose target
+        point currently falls in this object's Voronoi region.
+    close_neighbors:
+        Objects within distance ``d_min`` (symmetric relation).
+    join_order:
+        Monotonically increasing sequence number assigned at join time.
+    """
+
+    object_id: int
+    position: Point
+    host: Optional[str] = None
+    long_links: List[LongLink] = field(default_factory=list)
+    back_links: Set[BackLink] = field(default_factory=set)
+    close_neighbors: Set[int] = field(default_factory=set)
+    join_order: int = 0
+
+    # ------------------------------------------------------------------
+    # long-link management
+    # ------------------------------------------------------------------
+    def long_link_neighbors(self) -> List[int]:
+        """Ids of the current long-range contacts (may contain duplicates)."""
+        return [link.neighbor for link in self.long_links]
+
+    def set_long_link(self, index: int, target: Point, neighbor: int) -> None:
+        """Install or replace the ``index``-th long link."""
+        while len(self.long_links) <= index:
+            self.long_links.append(LongLink(target=self.position, neighbor=self.object_id))
+        self.long_links[index] = LongLink(target=target, neighbor=neighbor)
+
+    def retarget_long_link(self, index: int, neighbor: int) -> None:
+        """Point the ``index``-th long link at a new endpoint (same target point)."""
+        self.long_links[index].neighbor = neighbor
+
+    def add_back_link(self, source: int, link_index: int, target: Point) -> None:
+        """Register that ``source``'s ``link_index``-th long link points at us."""
+        self.back_links.add(BackLink(source=source, link_index=link_index, target=target))
+
+    def remove_back_link(self, source: int, link_index: int) -> None:
+        """Drop a reverse registration (if present)."""
+        self.back_links = {
+            bl for bl in self.back_links
+            if not (bl.source == source and bl.link_index == link_index)
+        }
+
+    def back_link_sources(self) -> Set[int]:
+        """Ids of every object holding a long link towards us."""
+        return {bl.source for bl in self.back_links}
+
+    # ------------------------------------------------------------------
+    # close neighbours
+    # ------------------------------------------------------------------
+    def add_close_neighbor(self, object_id: int) -> None:
+        """Record an object within ``d_min`` (no-op for ourselves)."""
+        if object_id != self.object_id:
+            self.close_neighbors.add(object_id)
+
+    def discard_close_neighbor(self, object_id: int) -> None:
+        """Forget a close neighbour (no error if absent)."""
+        self.close_neighbors.discard(object_id)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def view_size(self, voronoi_neighbor_count: int) -> int:
+        """Total number of entries in this object's view.
+
+        The paper argues this is O(1) in expectation; analysis code sums
+        Voronoi neighbours (passed in by the overlay), close neighbours,
+        long links and back links.
+        """
+        return (
+            voronoi_neighbor_count
+            + len(self.close_neighbors)
+            + len(self.long_links)
+            + len(self.back_links)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ObjectNode(id={self.object_id}, position={self.position}, "
+            f"long_links={len(self.long_links)}, close={len(self.close_neighbors)}, "
+            f"back={len(self.back_links)})"
+        )

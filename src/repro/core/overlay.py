@@ -1,0 +1,452 @@
+"""The VoroNet overlay — the paper's primary contribution.
+
+:class:`VoroNet` maintains a set of application objects placed in the unit
+square, organised by the Voronoi tessellation of their positions and
+augmented with Kleinberg-style long-range links.  It offers the operations
+of Section 3:
+
+* :meth:`VoroNet.insert` — object publication (greedy routing to the region
+  owner, local region carving, close-neighbour discovery, long-link
+  establishment),
+* :meth:`VoroNet.remove` — departure (region hand-back, long-link
+  delegation through the back-long-range registrations),
+* :meth:`VoroNet.route` / :meth:`VoroNet.lookup` — greedy routing to an
+  object or to an arbitrary point of the attribute space,
+* range / radius queries (via :mod:`repro.core.queries`), the richer query
+  mechanisms sketched in the paper's perspectives.
+
+This class is the *oracle-mode* implementation: a single process holds the
+shared Delaunay kernel standing in for each object's local, topologically
+consistent Voronoi computation, which is the abstraction level the paper's
+own simulator works at.  The message-level distributed execution, where
+every object acts only on its local view, lives in
+:mod:`repro.simulation.protocol` and is validated against this class in the
+integration tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.config import VoroNetConfig
+from repro.core.errors import (
+    DuplicateObjectError,
+    EmptyOverlayError,
+    ObjectNotFoundError,
+    OverlayFullError,
+)
+from repro.core.long_range import choose_long_range_target
+from repro.core.maintenance import detach_object, integrate_new_object
+from repro.core.neighbors import NeighborView
+from repro.core.node import ObjectNode
+from repro.core.routing import RouteResult, greedy_route, route_to_object
+from repro.core.stats import OverlayStats
+from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
+from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
+from repro.geometry.point import Point, distance
+from repro.geometry.voronoi import VoronoiCell, voronoi_cell
+from repro.utils.rng import RandomSource
+
+__all__ = ["VoroNet"]
+
+
+class VoroNet:
+    """An object-to-object overlay based on Voronoi tessellations.
+
+    Parameters
+    ----------
+    config:
+        Full configuration object.  Mutually exclusive with the keyword
+        shortcuts below.
+    n_max, num_long_links, seed:
+        Shortcuts to build a default configuration without constructing a
+        :class:`~repro.core.config.VoroNetConfig` explicitly.
+
+    Examples
+    --------
+    >>> overlay = VoroNet(n_max=1000, seed=7)
+    >>> a = overlay.insert((0.2, 0.3))
+    >>> b = overlay.insert((0.8, 0.7))
+    >>> overlay.route(a, b).owner == b
+    True
+    """
+
+    def __init__(self, config: Optional[VoroNetConfig] = None, *,
+                 n_max: Optional[int] = None,
+                 num_long_links: Optional[int] = None,
+                 seed: Optional[int] = None) -> None:
+        if config is None:
+            config = VoroNetConfig(
+                n_max=n_max if n_max is not None else VoroNetConfig().n_max,
+                num_long_links=(num_long_links if num_long_links is not None
+                                else VoroNetConfig().num_long_links),
+                seed=seed,
+            )
+        elif n_max is not None or num_long_links is not None or seed is not None:
+            raise ValueError("pass either a config object or keyword shortcuts, not both")
+        self._config = config
+        self._rng = RandomSource(config.seed)
+        self._triangulation = DelaunayTriangulation()
+        self._nodes: Dict[int, ObjectNode] = {}
+        self._next_id = 0
+        self._join_counter = itertools.count()
+        self._stats = OverlayStats()
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> VoroNetConfig:
+        """The overlay's (immutable) configuration."""
+        return self._config
+
+    @property
+    def stats(self) -> OverlayStats:
+        """Aggregated operation statistics (joins, leaves, routes, queries)."""
+        return self._stats
+
+    @property
+    def rng(self) -> RandomSource:
+        """The overlay's internal random source (long-link targets, defaults)."""
+        return self._rng
+
+    @property
+    def triangulation(self) -> DelaunayTriangulation:
+        """The shared Delaunay kernel (read-only use recommended)."""
+        return self._triangulation
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._nodes
+
+    def object_ids(self) -> List[int]:
+        """Ids of every object currently published in the overlay."""
+        return list(self._nodes.keys())
+
+    def node(self, object_id: int) -> ObjectNode:
+        """The per-object state of ``object_id``."""
+        try:
+            return self._nodes[object_id]
+        except KeyError:
+            raise ObjectNotFoundError(object_id) from None
+
+    def position_of(self, object_id: int) -> Point:
+        """Coordinates of an object in the attribute space."""
+        return self.node(object_id).position
+
+    def positions(self) -> Dict[int, Point]:
+        """Mapping of object id → position for every object."""
+        return {oid: node.position for oid, node in self._nodes.items()}
+
+    # ------------------------------------------------------------------
+    # neighbour views
+    # ------------------------------------------------------------------
+    def voronoi_neighbors(self, object_id: int) -> List[int]:
+        """The Voronoi-neighbour set ``vn(o)`` of an object."""
+        if object_id not in self._nodes:
+            raise ObjectNotFoundError(object_id)
+        return self._triangulation.neighbors(object_id)
+
+    def neighbor_view(self, object_id: int) -> NeighborView:
+        """The full view (vn, cn, LRn, BLRn) of an object."""
+        node = self.node(object_id)
+        return NeighborView(
+            object_id=object_id,
+            voronoi=frozenset(self.voronoi_neighbors(object_id)),
+            close=frozenset(node.close_neighbors),
+            long_range=frozenset(node.long_link_neighbors()),
+            back_long_range=frozenset(node.back_link_sources()),
+        )
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Histogram of Voronoi out-degrees ``|vn(o)|`` (the Figure 5 metric)."""
+        histogram: Dict[int, int] = {}
+        for object_id in self._nodes:
+            degree = len(self.voronoi_neighbors(object_id))
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def view_sizes(self) -> Dict[int, int]:
+        """Total view size of every object (the O(1) quantity of Section 4.1)."""
+        return {oid: self.neighbor_view(oid).size for oid in self._nodes}
+
+    def voronoi_cell(self, object_id: int,
+                     box: BoundingBox = UNIT_SQUARE) -> VoronoiCell:
+        """The (clipped) Voronoi region of an object."""
+        if object_id not in self._nodes:
+            raise ObjectNotFoundError(object_id)
+        return voronoi_cell(self._triangulation, object_id, box)
+
+    # ------------------------------------------------------------------
+    # ownership / location
+    # ------------------------------------------------------------------
+    def owner_of(self, point: Point, hint: Optional[int] = None) -> int:
+        """The object whose Voronoi region contains ``point``."""
+        if not self._nodes:
+            raise EmptyOverlayError("the overlay holds no objects")
+        return self._triangulation.nearest_vertex(point, hint=hint)
+
+    def distance_to_region(self, object_id: int, point: Point) -> float:
+        """Distance from ``point`` to the Voronoi region of ``object_id``.
+
+        This is the ``DistanceToRegion`` primitive of Section 4.2.3; it
+        returns 0 when the point already lies inside the region.
+        """
+        if object_id not in self._nodes:
+            raise ObjectNotFoundError(object_id)
+        if len(self._nodes) == 1:
+            return 0.0
+        if self.owner_of(point, hint=object_id) == object_id:
+            return 0.0
+        margin = 4.0
+        cell = voronoi_cell(self._triangulation, object_id,
+                            UNIT_SQUARE.expanded(margin))
+        polygon = cell.polygon
+        if len(polygon) < 2:
+            return distance(self.position_of(object_id), point)
+        return _distance_to_polygon(point, polygon)
+
+    # ------------------------------------------------------------------
+    # object publication (join)
+    # ------------------------------------------------------------------
+    def insert(self, position: Point, object_id: Optional[int] = None, *,
+               introducer: Optional[int] = None,
+               host: Optional[str] = None) -> int:
+        """Publish a new object at ``position`` and return its id.
+
+        The join follows Section 3.3: greedy routing from the ``introducer``
+        (any already-published object; a random one when omitted) locates
+        the owner of the region containing ``position``; the owner carves
+        out the new region and hands over the relevant state; the new object
+        then discovers its close neighbours and establishes its long-range
+        links by routing to freshly drawn target points.
+
+        Raises
+        ------
+        OverlayFullError
+            When the overlay already holds ``n_max`` objects and overflow is
+            not allowed.
+        DuplicateObjectError
+            When an object already sits at exactly the same coordinates or
+            the requested id is in use.
+        """
+        if len(self._nodes) >= self._config.n_max and not self._config.allow_overflow:
+            raise OverlayFullError(self._config.n_max)
+        position = (float(position[0]), float(position[1]))
+        if not UNIT_SQUARE.contains(position):
+            raise ValueError(f"object position {position} outside the unit square")
+        if object_id is None:
+            object_id = self._next_id
+        elif object_id in self._nodes or object_id < 0:
+            raise DuplicateObjectError(f"object id {object_id} is invalid or in use")
+        self._next_id = max(self._next_id, object_id + 1)
+
+        route_hops = 0
+        messages = 0
+        if self._nodes:
+            start = introducer if introducer is not None else self._sample_object_id()
+            if start not in self._nodes:
+                raise ObjectNotFoundError(start)
+            route = greedy_route(self, start, position)
+            route_hops = route.hops
+            messages += route.messages
+            hint = route.owner
+        else:
+            hint = None
+
+        try:
+            self._triangulation.insert(position, vertex_id=object_id, hint=hint)
+        except DuplicatePointError as exc:
+            raise DuplicateObjectError(
+                f"an object already sits at {position} (id {exc.existing_vertex})"
+            ) from exc
+        node = ObjectNode(
+            object_id=object_id,
+            position=position,
+            host=host,
+            join_order=next(self._join_counter),
+        )
+        self._nodes[object_id] = node
+        messages += integrate_new_object(self, object_id)
+
+        # Long-range links: drawn and resolved by routing from the new object.
+        link_messages = self._establish_long_links(object_id)
+        messages += link_messages
+
+        self._stats.joins.record(route_hops, messages)
+        return object_id
+
+    def _establish_long_links(self, object_id: int) -> int:
+        """Draw and resolve the ``num_long_links`` long links of an object."""
+        node = self.node(object_id)
+        d_min = self._config.effective_d_min
+        messages = 0
+        for index in range(self._config.num_long_links):
+            target = choose_long_range_target(node.position, d_min, self._rng)
+            if len(self._nodes) == 1:
+                endpoint = object_id
+                hops = 0
+            else:
+                route = greedy_route(self, object_id, target)
+                endpoint = route.owner
+                hops = route.hops
+            node.set_long_link(index, target, endpoint)
+            if self._config.maintain_back_links:
+                # Register the reverse pointer even when the owner is the
+                # object itself: a later joiner closer to the target must be
+                # able to steal the registration and re-point the link.
+                self.node(endpoint).add_back_link(object_id, index, target)
+                if endpoint != object_id:
+                    messages += 1
+            messages += hops
+            self._stats.long_link_searches.record(hops, hops + 1)
+        return messages
+
+    def _sample_object_id(self) -> int:
+        """A uniformly random already-published object id (the introducer)."""
+        ids = list(self._nodes.keys())
+        return ids[self._rng.integer(0, len(ids))]
+
+    # ------------------------------------------------------------------
+    # departure (leave)
+    # ------------------------------------------------------------------
+    def remove(self, object_id: int) -> None:
+        """Withdraw an object from the overlay (Section 3.3's leave).
+
+        Long links hosted at the departing object are delegated to the
+        Voronoi neighbour now owning their target point, the object's own
+        links are deregistered, close neighbours are notified, and the
+        region is handed back to the neighbours.
+        """
+        if object_id not in self._nodes:
+            raise ObjectNotFoundError(object_id)
+        messages = detach_object(self, object_id)
+        self._triangulation.remove(object_id)
+        del self._nodes[object_id]
+        self._stats.leaves.record(0, messages)
+
+    # ------------------------------------------------------------------
+    # routing and lookups
+    # ------------------------------------------------------------------
+    def route(self, source: int, target: Union[int, Point], *,
+              use_long_links: bool = True) -> RouteResult:
+        """Route a message from ``source`` to an object id or a point."""
+        if isinstance(target, (int,)) and not isinstance(target, bool):
+            result = route_to_object(self, source, target,
+                                     use_long_links=use_long_links)
+        else:
+            result = greedy_route(self, source, target,  # type: ignore[arg-type]
+                                  use_long_links=use_long_links)
+        self._stats.routes.record(result.hops, result.messages)
+        return result
+
+    def lookup(self, point: Point, start: Optional[int] = None) -> RouteResult:
+        """Find the object responsible for ``point`` by greedy routing.
+
+        ``start`` defaults to a random object, modelling a request entering
+        the overlay at an arbitrary peer.
+        """
+        if not self._nodes:
+            raise EmptyOverlayError("the overlay holds no objects")
+        if start is None:
+            start = self._sample_object_id()
+        result = greedy_route(self, start, point)
+        self._stats.queries.record(result.hops, result.messages)
+        return result
+
+    # ------------------------------------------------------------------
+    # bulk helpers and exports
+    # ------------------------------------------------------------------
+    def insert_many(self, positions: Iterable[Point]) -> List[int]:
+        """Publish many objects in sequence; returns their ids in order."""
+        return [self.insert(position) for position in positions]
+
+    def random_object_id(self) -> int:
+        """A uniformly random published object id."""
+        if not self._nodes:
+            raise EmptyOverlayError("the overlay holds no objects")
+        return self._sample_object_id()
+
+    def to_networkx(self):
+        """Export the overlay as a :class:`networkx.DiGraph`.
+
+        Nodes carry their position (``pos``); edges carry their kind
+        (``voronoi``, ``close`` or ``long``).  Voronoi and close edges are
+        emitted in both directions (they are symmetric relations).
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for object_id, node in self._nodes.items():
+            graph.add_node(object_id, pos=node.position)
+        for object_id, node in self._nodes.items():
+            for neighbor in self.voronoi_neighbors(object_id):
+                graph.add_edge(object_id, neighbor, kind="voronoi")
+            for neighbor in node.close_neighbors:
+                graph.add_edge(object_id, neighbor, kind="close")
+            for link in node.long_links:
+                if link.neighbor != object_id:
+                    graph.add_edge(object_id, link.neighbor, kind="long")
+        return graph
+
+    def check_consistency(self) -> List[str]:
+        """Run the cross-object invariant checks; returns a list of problems."""
+        from repro.core.maintenance import view_consistency_report
+
+        problems = view_consistency_report(self)
+        try:
+            self._triangulation.validate()
+        except Exception as exc:  # pragma: no cover - defensive
+            problems.append(f"triangulation invalid: {exc}")
+        return problems
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VoroNet(objects={len(self._nodes)}, n_max={self._config.n_max}, "
+            f"long_links={self._config.num_long_links})"
+        )
+
+
+def _distance_to_polygon(point: Point, polygon: Sequence[Point]) -> float:
+    """Distance from a point to a polygon (0 if inside)."""
+    inside = _point_in_polygon(point, polygon)
+    if inside:
+        return 0.0
+    best = math.inf
+    n = len(polygon)
+    for i in range(n):
+        a = polygon[i]
+        b = polygon[(i + 1) % n]
+        best = min(best, _distance_to_segment(point, a, b))
+    return best
+
+
+def _distance_to_segment(point: Point, a: Point, b: Point) -> float:
+    ax, ay = a
+    bx, by = b
+    px, py = point
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0.0:
+        return math.hypot(px - ax, py - ay)
+    t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
+    cx, cy = ax + t * dx, ay + t * dy
+    return math.hypot(px - cx, py - cy)
+
+
+def _point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    x, y = point
+    inside = False
+    n = len(polygon)
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_cross:
+                inside = not inside
+    return inside

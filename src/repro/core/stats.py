@@ -1,0 +1,97 @@
+"""Lightweight operation statistics collected by the overlay.
+
+Every join, leave, route and query performed through
+:class:`repro.core.overlay.VoroNet` updates these counters, so experiments
+can report the *cost* of overlay maintenance (hops spent routing joins,
+messages the distributed protocol would exchange) without re-instrumenting
+call sites.  The message counts follow the accounting of Section 4.2: one
+message per greedy forwarding step, one per neighbour notified during
+``AddVoronoiRegion`` / ``RemoveVoronoiRegion``, and one per long-link
+re-delegation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["OperationStats", "OverlayStats"]
+
+
+@dataclass
+class OperationStats:
+    """Aggregated statistics for one operation type (join, leave, route, ...)."""
+
+    count: int = 0
+    total_hops: int = 0
+    total_messages: int = 0
+    max_hops: int = 0
+    max_messages: int = 0
+
+    def record(self, hops: int, messages: int) -> None:
+        """Record one operation with its hop and message cost."""
+        self.count += 1
+        self.total_hops += hops
+        self.total_messages += messages
+        self.max_hops = max(self.max_hops, hops)
+        self.max_messages = max(self.max_messages, messages)
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean number of routing hops per operation (0 when unused)."""
+        return self.total_hops / self.count if self.count else 0.0
+
+    @property
+    def mean_messages(self) -> float:
+        """Mean number of protocol messages per operation (0 when unused)."""
+        return self.total_messages / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict summary (handy for benchmark result tables)."""
+        return {
+            "count": self.count,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.max_hops,
+            "mean_messages": self.mean_messages,
+            "max_messages": self.max_messages,
+        }
+
+
+@dataclass
+class OverlayStats:
+    """All per-overlay statistics, grouped by operation type."""
+
+    joins: OperationStats = field(default_factory=OperationStats)
+    leaves: OperationStats = field(default_factory=OperationStats)
+    routes: OperationStats = field(default_factory=OperationStats)
+    queries: OperationStats = field(default_factory=OperationStats)
+    long_link_searches: OperationStats = field(default_factory=OperationStats)
+
+    def reset(self) -> None:
+        """Zero every counter (e.g. between benchmark phases)."""
+        self.joins = OperationStats()
+        self.leaves = OperationStats()
+        self.routes = OperationStats()
+        self.queries = OperationStats()
+        self.long_link_searches = OperationStats()
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested plain-dict summary of every operation type."""
+        return {
+            "joins": self.joins.as_dict(),
+            "leaves": self.leaves.as_dict(),
+            "routes": self.routes.as_dict(),
+            "queries": self.queries.as_dict(),
+            "long_link_searches": self.long_link_searches.as_dict(),
+        }
+
+    def describe(self) -> List[str]:
+        """Human-readable one-line-per-operation summary."""
+        lines = []
+        for name, stats in self.as_dict().items():
+            lines.append(
+                f"{name:>19}: count={stats['count']:<8.0f}"
+                f" mean_hops={stats['mean_hops']:<7.2f}"
+                f" mean_messages={stats['mean_messages']:<8.2f}"
+            )
+        return lines

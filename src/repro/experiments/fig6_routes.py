@@ -1,0 +1,102 @@
+"""Figure 6 — mean route length vs overlay size for the four distributions.
+
+The paper grows overlays to 300 000 objects, measuring the mean greedy
+route length over 100 000 random object pairs after every 10 000 joins,
+for the uniform and the three power-law distributions, with one long link
+per object.  The curves are poly-logarithmic and essentially independent of
+the distribution.  This driver performs the same sweep at a configurable
+scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.hops import RoutingSweepPoint, sweep_overlay_sizes
+from repro.analysis.plots import ascii_series, format_table
+from repro.core import VoroNet, VoroNetConfig
+from repro.experiments.common import (
+    CAPACITY_HEADROOM,
+    checkpoint_schedule,
+    env_scale,
+    evaluation_distributions,
+    scaled,
+)
+from repro.utils.rng import RandomSource
+from repro.workloads.generators import generate_objects
+
+__all__ = ["Fig6Result", "run_fig6", "format_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Route-length sweeps, one series per distribution."""
+
+    checkpoints: List[int]
+    num_pairs: int
+    series: Dict[str, List[RoutingSweepPoint]]
+
+    def mean_hops(self, distribution: str) -> List[float]:
+        """The mean-hop series of one distribution, in checkpoint order."""
+        return [point.mean_hops for point in self.series[distribution]]
+
+
+def run_fig6(scale: float | None = None, seed: int = 1006, *,
+             num_long_links: int = 1,
+             use_long_links: bool = True) -> Fig6Result:
+    """Run the Figure 6 sweep.
+
+    Parameters
+    ----------
+    scale:
+        Size multiplier; 1.0 sweeps up to 6 000 objects in 6 checkpoints with
+        600 measured pairs per checkpoint (the paper: 300 000 / 30 / 100 000).
+    num_long_links / use_long_links:
+        Overridden by the Figure 8 and baseline drivers to reuse the sweep.
+    """
+    scale = env_scale() if scale is None else scale
+    max_size = scaled(6000, scale)
+    checkpoints = checkpoint_schedule(max_size, 6)
+    num_pairs = scaled(600, scale, minimum=50)
+    series: Dict[str, List[RoutingSweepPoint]] = {}
+    for index, distribution in enumerate(evaluation_distributions()):
+        rng = RandomSource(seed + index)
+        positions = generate_objects(distribution, max_size, rng)
+
+        def factory(seed_offset=index) -> VoroNet:
+            return VoroNet(VoroNetConfig(
+                n_max=CAPACITY_HEADROOM * max_size,
+                num_long_links=num_long_links,
+                seed=seed + 100 + seed_offset,
+            ))
+
+        series[distribution.name] = sweep_overlay_sizes(
+            positions, checkpoints, rng,
+            num_pairs=num_pairs,
+            overlay_factory=factory,
+            use_long_links=use_long_links,
+        )
+    return Fig6Result(checkpoints=checkpoints, num_pairs=num_pairs, series=series)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Render the Figure 6 reproduction as a table plus an ASCII plot."""
+    lines = [
+        "Figure 6 — mean route length vs overlay size "
+        f"({result.num_pairs} pairs per checkpoint)"
+    ]
+    headers = ["objects"] + list(result.series.keys())
+    rows = []
+    for i, size in enumerate(result.checkpoints):
+        rows.append([size] + [result.series[name][i].mean_hops
+                              for name in result.series])
+    lines.append(format_table(headers, rows))
+    uniform = result.series.get("uniform")
+    if uniform:
+        lines.append("")
+        lines.append("[uniform] mean hops vs overlay size")
+        lines.append(ascii_series(
+            [p.size for p in uniform], [p.mean_hops for p in uniform],
+            x_label="objects", y_label="hops"))
+    return "\n".join(lines)

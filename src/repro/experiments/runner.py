@@ -1,0 +1,77 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig5            # one experiment
+    python -m repro.experiments all             # everything
+    python -m repro.experiments fig6 --scale 2  # larger run
+
+Results are printed as text (tables + ASCII plots); redirect to a file to
+archive a run.  ``--scale`` multiplies every workload size; the default of
+1.0 finishes on a laptop in minutes, the paper's full 300 000-object runs
+correspond to scale ≈ 50–75 for Figures 5–8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.experiments.ablation_baselines import format_baseline_comparison, run_baseline_comparison
+from repro.experiments.ablation_close_neighbors import format_ablation_close, run_ablation_close
+from repro.experiments.ablation_maintenance import format_maintenance, run_maintenance_experiment
+from repro.experiments.fig5_degree import format_fig5, run_fig5
+from repro.experiments.fig6_routes import format_fig6, run_fig6
+from repro.experiments.fig7_slope import format_fig7, run_fig7
+from repro.experiments.fig8_longlinks import format_fig8, run_fig8
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: Registry of experiment name → (runner, formatter).
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "fig5": (run_fig5, format_fig5),
+    "fig6": (run_fig6, format_fig6),
+    "fig7": (run_fig7, format_fig7),
+    "fig8": (run_fig8, format_fig8),
+    "abl1-close": (run_ablation_close, format_ablation_close),
+    "abl2-baselines": (run_baseline_comparison, format_baseline_comparison),
+    "abl3-maintenance": (run_maintenance_experiment, format_maintenance),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the VoroNet paper's evaluation figures.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default 1.0, paper scale ≈ 50-75)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the experiment's base seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, formatter = EXPERIMENTS[name]
+        kwargs = {}
+        if args.scale is not None:
+            kwargs["scale"] = args.scale
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        started = time.time()
+        result = runner(**kwargs)
+        elapsed = time.time() - started
+        print("=" * 72)
+        print(formatter(result))
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

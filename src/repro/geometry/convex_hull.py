@@ -1,0 +1,64 @@
+"""Convex hulls (Andrew's monotone chain).
+
+Used by tests (the hull of the object set determines which Delaunay
+vertices are allowed to be "hull vertices") and by the Voronoi cell
+construction examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import orient2d
+
+__all__ = ["convex_hull", "point_in_convex_polygon"]
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Convex hull of a point set in counter-clockwise order.
+
+    Collinear points on the hull boundary are dropped; duplicate input
+    points are tolerated.  For fewer than three distinct points the distinct
+    points are returned in sorted order.
+    """
+    unique = sorted({(float(x), float(y)) for x, y in points})
+    if len(unique) <= 2:
+        return unique
+
+    def build(sequence: List[Point]) -> List[Point]:
+        chain: List[Point] = []
+        for p in sequence:
+            while len(chain) >= 2 and orient2d(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(unique)
+    upper = build(list(reversed(unique)))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        # All points collinear: return the two extremes.
+        return [unique[0], unique[-1]]
+    return hull
+
+
+def point_in_convex_polygon(point: Point, polygon: Sequence[Point]) -> bool:
+    """Whether ``point`` lies inside or on a convex CCW polygon."""
+    n = len(polygon)
+    if n == 0:
+        return False
+    if n == 1:
+        return tuple(point) == tuple(polygon[0])
+    if n == 2:
+        return orient2d(polygon[0], polygon[1], point) == 0
+    for i in range(n):
+        if orient2d(polygon[i], polygon[(i + 1) % n], point) < 0:
+            return False
+    return True
+
+
+def hull_vertices_of(points: Sequence[Point]) -> List[int]:
+    """Indices (into ``points``) of the points lying on the convex hull."""
+    hull = set(map(tuple, convex_hull(points)))
+    return [i for i, p in enumerate(points) if (float(p[0]), float(p[1])) in hull]

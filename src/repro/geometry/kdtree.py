@@ -1,0 +1,149 @@
+"""A small 2-D kd-tree used as an exact nearest-neighbour oracle.
+
+The overlay never uses this structure (it locates points by greedy routing
+on the Delaunay graph, as in the paper); the kd-tree exists as independent
+ground truth for tests ("does greedy routing really end at the closest
+object?") and for verifying range/radius query results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.bounding import BoundingBox
+from repro.geometry.point import Point, distance_sq
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    index: int
+    point: Point
+    axis: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class KDTree:
+    """Static 2-D kd-tree over an indexed point set.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(x, y)`` points; results refer to indices into this
+        sequence.
+
+    Examples
+    --------
+    >>> tree = KDTree([(0.1, 0.1), (0.9, 0.9), (0.5, 0.4)])
+    >>> tree.nearest((0.45, 0.45))
+    2
+    """
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        self._points = [(float(x), float(y)) for x, y in points]
+        indexed = list(enumerate(self._points))
+        self._root = self._build(indexed, axis=0)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def _build(self, items: List[Tuple[int, Point]], axis: int) -> Optional[_Node]:
+        if not items:
+            return None
+        items.sort(key=lambda item: item[1][axis])
+        mid = len(items) // 2
+        index, point = items[mid]
+        next_axis = 1 - axis
+        return _Node(
+            index=index,
+            point=point,
+            axis=axis,
+            left=self._build(items[:mid], next_axis),
+            right=self._build(items[mid + 1:], next_axis),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nearest(self, target: Point) -> int:
+        """Index of the point closest to ``target`` (ties broken arbitrarily)."""
+        if self._root is None:
+            raise ValueError("nearest() on an empty KDTree")
+        best_index = self._root.index
+        best_d = distance_sq(self._root.point, target)
+
+        def visit(node: Optional[_Node]) -> None:
+            nonlocal best_index, best_d
+            if node is None:
+                return
+            d = distance_sq(node.point, target)
+            if d < best_d:
+                best_index, best_d = node.index, d
+            diff = target[node.axis] - node.point[node.axis]
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            if diff * diff < best_d:
+                visit(far)
+
+        visit(self._root)
+        return best_index
+
+    def query_radius(self, center: Point, radius: float) -> List[int]:
+        """Indices of all points within (or exactly at) ``radius`` of ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        radius_sq = radius * radius
+        result: List[int] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            if distance_sq(node.point, center) <= radius_sq:
+                result.append(node.index)
+            diff = center[node.axis] - node.point[node.axis]
+            if diff - radius <= 0:
+                visit(node.left)
+            if diff + radius >= 0:
+                visit(node.right)
+
+        visit(self._root)
+        return sorted(result)
+
+    def query_box(self, box: BoundingBox) -> List[int]:
+        """Indices of all points inside an axis-aligned box (inclusive)."""
+        result: List[int] = []
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None:
+                return
+            x, y = node.point
+            if box.xmin <= x <= box.xmax and box.ymin <= y <= box.ymax:
+                result.append(node.index)
+            lo, hi = (box.xmin, box.xmax) if node.axis == 0 else (box.ymin, box.ymax)
+            coordinate = node.point[node.axis]
+            if lo <= coordinate:
+                visit(node.left)
+            if coordinate <= hi:
+                visit(node.right)
+
+        visit(self._root)
+        return sorted(result)
+
+    def k_nearest(self, target: Point, k: int) -> List[int]:
+        """Indices of the ``k`` points closest to ``target`` (sorted by distance)."""
+        if k <= 0:
+            return []
+        scored = sorted(
+            range(len(self._points)),
+            key=lambda i: distance_sq(self._points[i], target),
+        )
+        return scored[:k]
+
+    def nearest_distance(self, target: Point) -> float:
+        """Distance from ``target`` to its nearest point in the tree."""
+        index = self.nearest(target)
+        return math.sqrt(distance_sq(self._points[index], target))

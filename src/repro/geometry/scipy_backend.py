@@ -1,0 +1,100 @@
+"""Cross-check backend built on :mod:`scipy.spatial`.
+
+Our own incremental Delaunay kernel is the one the overlay uses (it has to
+support deletion, hints, and per-vertex stars).  ``scipy.spatial.Delaunay``
+provides an independent, battle-tested implementation of the *same*
+mathematical object; this module exposes its adjacency so tests can verify
+that both kernels agree, and offers a convenience batch constructor for
+analysis code that only needs a static triangulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+from scipy.spatial import Delaunay as _SciPyDelaunay
+
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.point import Point
+
+__all__ = [
+    "scipy_delaunay_adjacency",
+    "adjacency_of",
+    "compare_with_scipy",
+]
+
+
+def scipy_delaunay_adjacency(points: Sequence[Point]) -> Dict[int, Set[int]]:
+    """Delaunay adjacency (index → neighbour indices) computed by scipy.
+
+    Raises
+    ------
+    ValueError
+        If scipy cannot triangulate the input (fewer than 3 points or a
+        degenerate/collinear configuration).
+    """
+    array = np.asarray(points, dtype=np.float64)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) points, got shape {array.shape}")
+    if array.shape[0] < 3:
+        raise ValueError("scipy Delaunay requires at least 3 points")
+    triangulation = _SciPyDelaunay(array)
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(array.shape[0])}
+    indptr, indices = triangulation.vertex_neighbor_vertices
+    for i in range(array.shape[0]):
+        adjacency[i] = set(int(j) for j in indices[indptr[i]:indptr[i + 1]])
+    return adjacency
+
+
+def adjacency_of(triangulation: DelaunayTriangulation) -> Dict[int, Set[int]]:
+    """Adjacency map (vertex id → neighbour ids) of our own triangulation."""
+    return {
+        vid: set(triangulation.neighbors(vid))
+        for vid in triangulation.vertex_ids()
+    }
+
+
+def compare_with_scipy(triangulation: DelaunayTriangulation) -> List[str]:
+    """Compare our kernel's adjacency against scipy on the same points.
+
+    Returns a list of human-readable discrepancy descriptions (empty when
+    the two adjacencies are identical).  Cocircular degeneracies can make
+    several triangulations equally Delaunay, so callers comparing random
+    continuous inputs should expect an empty list while callers feeding
+    adversarial grids may see benign differences.
+    """
+    ids = triangulation.vertex_ids()
+    if len(ids) < 3:
+        return []
+    points = [triangulation.point(vid) for vid in ids]
+    try:
+        scipy_adjacency = scipy_delaunay_adjacency(points)
+    except Exception as exc:  # degenerate inputs scipy refuses
+        return [f"scipy failed to triangulate: {exc}"]
+    id_to_index = {vid: i for i, vid in enumerate(ids)}
+    ours = adjacency_of(triangulation)
+    problems: List[str] = []
+    for vid in ids:
+        mine = {id_to_index[nb] for nb in ours[vid]}
+        theirs = scipy_adjacency[id_to_index[vid]]
+        if mine != theirs:
+            missing = theirs - mine
+            extra = mine - theirs
+            problems.append(
+                f"vertex {vid}: missing neighbours {sorted(missing)}, "
+                f"extra neighbours {sorted(extra)}"
+            )
+    return problems
+
+
+def build_reference_triangulation(points: Sequence[Point]) -> DelaunayTriangulation:
+    """Build our incremental triangulation from a batch of points.
+
+    Convenience for analysis scripts that have all points up front; points
+    are inserted in the given order with the default hint strategy.
+    """
+    triangulation = DelaunayTriangulation()
+    for point in points:
+        triangulation.insert(point)
+    return triangulation

@@ -1,0 +1,184 @@
+"""Explicit Voronoi cells derived from the Delaunay triangulation.
+
+The overlay itself only ever needs Delaunay *adjacency* (the ``vn(o)``
+sets), but examples, analysis and the region-hand-off logic benefit from
+explicit cell geometry: the polygon of a region, its area, whether it is
+bounded.  Cells are derived from the dual of the Delaunay triangulation
+(circumcenters of incident triangles) and clipped to the unit square, the
+attribute space of the paper.
+
+Unbounded cells (hull objects) are closed off with far points along the
+outward bisector rays before clipping; the resulting polygon is exact
+inside the clipping box for convex cells, which Voronoi cells always are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geometry.bounding import UNIT_SQUARE, BoundingBox, clip_polygon_to_box, polygon_area
+from repro.geometry.delaunay import INFINITE_VERTEX, DelaunayTriangulation
+from repro.geometry.point import Point, distance
+from repro.geometry.predicates import circumcenter
+
+__all__ = ["VoronoiCell", "voronoi_cell", "voronoi_cells"]
+
+#: Length of the synthetic rays used to close unbounded cells before clipping.
+_FAR = 64.0
+
+
+@dataclass(frozen=True)
+class VoronoiCell:
+    """The Voronoi region of one object.
+
+    Attributes
+    ----------
+    vertex_id:
+        Id of the owning vertex in the triangulation (the overlay object id).
+    site:
+        Coordinates of the owning object.
+    polygon:
+        Cell boundary clipped to the clipping box, in counter-clockwise
+        order.  Empty when the triangulation is degenerate (fewer than three
+        non-collinear objects).
+    bounded:
+        Whether the *unclipped* cell is bounded (interior objects) or extends
+        to infinity (hull objects).
+    """
+
+    vertex_id: int
+    site: Point
+    polygon: List[Point] = field(default_factory=list)
+    bounded: bool = True
+
+    @property
+    def area(self) -> float:
+        """Area of the clipped cell polygon."""
+        return polygon_area(self.polygon)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the clipped cell polygon (convex test)."""
+        poly = self.polygon
+        n = len(poly)
+        if n < 3:
+            return False
+        sign = 0
+        for i in range(n):
+            ax, ay = poly[i]
+            bx, by = poly[(i + 1) % n]
+            cross = (bx - ax) * (point[1] - ay) - (by - ay) * (point[0] - ax)
+            if cross > 1e-12:
+                current = 1
+            elif cross < -1e-12:
+                current = -1
+            else:
+                continue
+            if sign == 0:
+                sign = current
+            elif sign != current:
+                return False
+        return True
+
+
+def _outward_bisector(site: Point, hull_neighbor: Point, inner_reference: Point) -> Point:
+    """Unit direction of the Voronoi ray along the bisector of a hull edge.
+
+    The ray is perpendicular to ``site → hull_neighbor`` and points away from
+    ``inner_reference`` (a vertex on the interior side of the hull edge).
+    """
+    ex, ey = hull_neighbor[0] - site[0], hull_neighbor[1] - site[1]
+    length = math.hypot(ex, ey) or 1.0
+    nx, ny = -ey / length, ex / length
+    rx, ry = inner_reference[0] - site[0], inner_reference[1] - site[1]
+    if nx * rx + ny * ry > 0:
+        nx, ny = -nx, -ny
+    return (nx, ny)
+
+
+def voronoi_cell(triangulation: DelaunayTriangulation, vertex_id: int,
+                 box: BoundingBox = UNIT_SQUARE) -> VoronoiCell:
+    """Compute the (clipped) Voronoi cell of one vertex.
+
+    Parameters
+    ----------
+    triangulation:
+        The Delaunay triangulation of the current object set.
+    vertex_id:
+        Vertex whose cell is requested.
+    box:
+        Clipping box; defaults to the unit square.
+    """
+    site = triangulation.point(vertex_id)
+    if not triangulation.has_triangulation:
+        # Degenerate object sets have no well-defined planar subdivision;
+        # report an empty polygon and mark the cell unbounded.
+        return VoronoiCell(vertex_id=vertex_id, site=site, polygon=[], bounded=False)
+
+    ring = triangulation.star_ring(vertex_id)
+    bounded = INFINITE_VERTEX not in ring
+    if bounded:
+        centers: List[Point] = []
+        k = len(ring)
+        for i in range(k):
+            a, b = ring[i], ring[(i + 1) % k]
+            center = circumcenter(site, triangulation.point(a), triangulation.point(b))
+            if center is not None:
+                centers.append(center)
+        polygon = clip_polygon_to_box(centers, box)
+        return VoronoiCell(vertex_id=vertex_id, site=site, polygon=polygon, bounded=True)
+
+    # Hull vertex: rotate the ring so it starts just after the infinite vertex,
+    # leaving the finite fan ordered CCW from one hull neighbour to the other.
+    idx = ring.index(INFINITE_VERTEX)
+    fan = ring[idx + 1:] + ring[:idx]
+    centers = []
+    for i in range(len(fan) - 1):
+        center = circumcenter(site, triangulation.point(fan[i]),
+                              triangulation.point(fan[i + 1]))
+        if center is not None:
+            centers.append(center)
+    first_nb = triangulation.point(fan[0])
+    last_nb = triangulation.point(fan[-1])
+    inner_first = triangulation.point(fan[1]) if len(fan) > 1 else last_nb
+    inner_last = triangulation.point(fan[-2]) if len(fan) > 1 else first_nb
+    dir_first = _outward_bisector(site, first_nb, inner_first)
+    dir_last = _outward_bisector(site, last_nb, inner_last)
+    anchor_first = centers[0] if centers else site
+    anchor_last = centers[-1] if centers else site
+    far_first = (anchor_first[0] + _FAR * dir_first[0], anchor_first[1] + _FAR * dir_first[1])
+    far_last = (anchor_last[0] + _FAR * dir_last[0], anchor_last[1] + _FAR * dir_last[1])
+    # Close the unbounded side with an extra far corner so the polygon wraps
+    # around the site before clipping.
+    mx, my = dir_first[0] + dir_last[0], dir_first[1] + dir_last[1]
+    norm = math.hypot(mx, my)
+    if norm < 1e-12:
+        mx, my = -(last_nb[1] - first_nb[1]), (last_nb[0] - first_nb[0])
+        norm = math.hypot(mx, my) or 1.0
+    far_mid = (site[0] + _FAR * mx / norm, site[1] + _FAR * my / norm)
+    polygon = [far_first] + centers + [far_last, far_mid]
+    clipped = clip_polygon_to_box(polygon, box)
+    return VoronoiCell(vertex_id=vertex_id, site=site, polygon=clipped, bounded=False)
+
+
+def voronoi_cells(triangulation: DelaunayTriangulation,
+                  box: BoundingBox = UNIT_SQUARE) -> Dict[int, VoronoiCell]:
+    """Voronoi cells of every vertex, keyed by vertex id."""
+    return {
+        vid: voronoi_cell(triangulation, vid, box)
+        for vid in triangulation.vertex_ids()
+    }
+
+
+def total_cell_area(cells: Dict[int, VoronoiCell]) -> float:
+    """Sum of clipped cell areas (should cover the clipping box)."""
+    return sum(cell.area for cell in cells.values())
+
+
+def cell_of_point(triangulation: DelaunayTriangulation, point: Point,
+                  hint: Optional[int] = None,
+                  box: BoundingBox = UNIT_SQUARE) -> VoronoiCell:
+    """The Voronoi cell containing ``point`` (owner found by nearest-vertex search)."""
+    owner = triangulation.nearest_vertex(point, hint=hint)
+    return voronoi_cell(triangulation, owner, box)

@@ -1,0 +1,48 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates VoroNet by simulation; this package provides the
+simulator: an event engine with virtual time, a message-passing network
+layer with latency models and per-message accounting, metric and trace
+collection, churn/failure injection, and — most importantly — the
+*message-level* implementation of the VoroNet protocol
+(:mod:`repro.simulation.protocol`) in which every object acts only on its
+local view and every exchanged message is explicit.  The oracle-mode
+overlay in :mod:`repro.core` is the fast path used for large parameter
+sweeps; this package is what validates its decentralisation and
+maintenance-cost claims.
+"""
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+from repro.simulation.network import (
+    ConstantLatency,
+    Message,
+    Network,
+    UniformLatency,
+)
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.failures import ChurnScheduler, CrashInjector
+from repro.simulation.protocol import (
+    JoinReport,
+    LeaveReport,
+    ProtocolSimulator,
+    QueryReport,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "Network",
+    "Message",
+    "ConstantLatency",
+    "UniformLatency",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "ChurnScheduler",
+    "CrashInjector",
+    "ProtocolSimulator",
+    "JoinReport",
+    "LeaveReport",
+    "QueryReport",
+]

@@ -1,0 +1,45 @@
+"""Events of the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled event.
+
+    Events are ordered by ``(time, sequence)`` so simultaneous events run in
+    scheduling order, which keeps runs deterministic.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    sequence:
+        Monotonic tie-breaker assigned by the engine.
+    action:
+        Zero-argument callable executed when the event fires.
+    label:
+        Optional human-readable label for tracing/debugging.
+    cancelled:
+        Cancelled events are skipped (lazily) when popped from the queue.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: Optional[str] = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when due."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Execute the event's action (no-op when cancelled)."""
+        if not self.cancelled:
+            self.action()

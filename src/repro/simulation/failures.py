@@ -1,0 +1,192 @@
+"""Churn and failure injection.
+
+Two injectors drive dynamism experiments:
+
+* :class:`ChurnScheduler` replays *graceful* joins and leaves (objects run
+  the departure protocol of Section 3.3) against either the oracle overlay
+  or the protocol simulator, at configurable rates on the virtual clock;
+* :class:`CrashInjector` removes objects *abruptly* — without running the
+  leave protocol — and then reports how much state (dangling long links,
+  stale close neighbours) the survivors are left with.  The paper does not
+  give a crash-repair protocol; quantifying the damage is how we exercise
+  the limitation it acknowledges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.overlay import VoroNet
+from repro.geometry.point import Point
+from repro.simulation.engine import SimulationEngine
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import ObjectDistribution, UniformDistribution
+
+__all__ = ["ChurnScheduler", "CrashInjector", "CrashDamageReport"]
+
+
+class ChurnScheduler:
+    """Schedules graceful joins and leaves on a simulation engine.
+
+    Parameters
+    ----------
+    engine:
+        The virtual clock driving the churn.
+    join / leave:
+        Callables performing one join (given a position) / one leave (given
+        nothing; the callee picks the victim).
+    join_rate / leave_rate:
+        Mean number of joins / leaves per unit of virtual time (events are
+        spaced by exponential inter-arrival times).
+    distribution:
+        Placement distribution for joining objects.
+    """
+
+    def __init__(self, engine: SimulationEngine, *,
+                 join: Callable[[Point], None],
+                 leave: Callable[[], None],
+                 join_rate: float = 1.0,
+                 leave_rate: float = 0.5,
+                 distribution: Optional[ObjectDistribution] = None,
+                 rng: Optional[RandomSource] = None) -> None:
+        if join_rate <= 0 or leave_rate < 0:
+            raise ValueError("join_rate must be > 0 and leave_rate >= 0")
+        self._engine = engine
+        self._join = join
+        self._leave = leave
+        self._join_rate = join_rate
+        self._leave_rate = leave_rate
+        self._distribution = distribution or UniformDistribution()
+        self._rng = rng if rng is not None else RandomSource()
+        self.joins_executed = 0
+        self.leaves_executed = 0
+
+    def start(self, horizon: float) -> None:
+        """Schedule churn events up to virtual time ``horizon``."""
+        time = 0.0
+        while True:
+            time += self._rng.exponential(1.0 / self._join_rate)
+            if time > horizon:
+                break
+            position = self._distribution.sample(1, self._rng)[0]
+            self._engine.schedule_at(time, self._make_join(position), label="churn-join")
+        if self._leave_rate <= 0:
+            return
+        time = 0.0
+        while True:
+            time += self._rng.exponential(1.0 / self._leave_rate)
+            if time > horizon:
+                break
+            self._engine.schedule_at(time, self._make_leave(), label="churn-leave")
+
+    def _make_join(self, position: Point) -> Callable[[], None]:
+        def action() -> None:
+            self._join(position)
+            self.joins_executed += 1
+        return action
+
+    def _make_leave(self) -> Callable[[], None]:
+        def action() -> None:
+            self._leave()
+            self.leaves_executed += 1
+        return action
+
+
+@dataclass(frozen=True)
+class CrashDamageReport:
+    """State damage observed after abrupt (non-graceful) departures."""
+
+    crashed: int
+    dangling_long_links: int
+    stale_close_neighbors: int
+    affected_objects: int
+
+    @property
+    def total_stale_entries(self) -> int:
+        return self.dangling_long_links + self.stale_close_neighbors
+
+
+class CrashInjector:
+    """Abruptly removes objects from an oracle-mode overlay.
+
+    The triangulation itself is repaired (the hosting substrate notices the
+    peer vanished), but none of the protocol-level hand-overs run, so other
+    objects are left with dangling long links and stale close-neighbour
+    entries — exactly what :meth:`assess_damage` quantifies.
+    """
+
+    def __init__(self, overlay: VoroNet, rng: Optional[RandomSource] = None) -> None:
+        self._overlay = overlay
+        self._rng = rng if rng is not None else RandomSource()
+        self._crashed: List[int] = []
+
+    def crash_random(self, count: int) -> List[int]:
+        """Crash ``count`` uniformly random objects; returns their ids."""
+        victims: List[int] = []
+        for _ in range(count):
+            ids = self._overlay.object_ids()
+            if len(ids) <= 3:
+                break
+            victim = ids[self._rng.integer(0, len(ids))]
+            self.crash(victim)
+            victims.append(victim)
+        return victims
+
+    def crash(self, object_id: int) -> None:
+        """Crash one object: drop it from the tessellation, skip the protocol."""
+        # Bypass VoroNet.remove on purpose: no detach_object, no notifications.
+        overlay = self._overlay
+        overlay.triangulation.remove(object_id)
+        del overlay._nodes[object_id]  # noqa: SLF001 - deliberate fault injection
+        self._crashed.append(object_id)
+
+    def assess_damage(self) -> CrashDamageReport:
+        """Count dangling references the crashes left in surviving objects."""
+        overlay = self._overlay
+        crashed = set(self._crashed)
+        dangling_links = 0
+        stale_close = 0
+        affected = set()
+        for object_id in overlay.object_ids():
+            node = overlay.node(object_id)
+            for link in node.long_links:
+                if link.neighbor in crashed:
+                    dangling_links += 1
+                    affected.add(object_id)
+            for close_id in node.close_neighbors:
+                if close_id in crashed:
+                    stale_close += 1
+                    affected.add(object_id)
+        return CrashDamageReport(
+            crashed=len(crashed),
+            dangling_long_links=dangling_links,
+            stale_close_neighbors=stale_close,
+            affected_objects=len(affected),
+        )
+
+    def repair(self) -> int:
+        """Scrub dangling references (a minimal anti-entropy pass).
+
+        Returns the number of entries fixed.  Long links pointing at crashed
+        objects are re-resolved by looking up the owner of their target
+        point; stale close neighbours are dropped.
+        """
+        overlay = self._overlay
+        crashed = set(self._crashed)
+        fixed = 0
+        for object_id in overlay.object_ids():
+            node = overlay.node(object_id)
+            for index, link in enumerate(node.long_links):
+                if link.neighbor in crashed:
+                    new_owner = overlay.owner_of(link.target)
+                    node.retarget_long_link(index, new_owner)
+                    if overlay.config.maintain_back_links:
+                        overlay.node(new_owner).add_back_link(object_id, index,
+                                                              link.target)
+                    fixed += 1
+            stale = {c for c in node.close_neighbors if c in crashed}
+            for close_id in stale:
+                node.discard_close_neighbor(close_id)
+                fixed += 1
+        return fixed

@@ -1,0 +1,547 @@
+"""Message-level (distributed) implementation of the VoroNet protocol.
+
+This module runs Algorithms 1–5 of the paper the way a deployment would:
+every object is a :class:`ProtocolNode` owning *only its local view*
+(positions of its Voronoi neighbours, close neighbours, long-range contacts
+and back registrations), and every interaction between objects is an
+explicit :class:`~repro.simulation.network.Message` delivered through the
+event engine and counted.  Greedy forwarding decisions are taken purely
+from the local view of the node currently holding the message.
+
+One shared :class:`~repro.geometry.delaunay.DelaunayTriangulation` instance
+acts as each object's *local* topologically consistent Voronoi computation
+(the role Sugihara–Iri plays in the paper): when a region owner executes
+``AddVoronoiRegion`` / ``RemoveVoronoiRegion`` it consults the kernel to
+obtain the updated neighbourhoods it must distribute.  This substitution
+changes no message: the set of objects that must be informed — the new
+object's Voronoi neighbours — is exactly the set the kernel reports, and
+each is notified with one counted ``REGION_UPDATE`` message, as in the
+paper.  What the simulation therefore measures faithfully is the paper's
+own cost model: hops per routed operation and messages per maintenance
+operation.
+
+The oracle-mode overlay (:class:`repro.core.overlay.VoroNet`) is the fast
+path for large sweeps; integration tests check that both executions produce
+the same neighbour structure on identical inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import VoroNetConfig
+from repro.core.long_range import choose_long_range_target
+from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
+from repro.geometry.point import Point, distance, distance_sq
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.network import ConstantLatency, LatencyModel, Message, Network
+from repro.simulation.trace import TraceRecorder
+from repro.utils.rng import RandomSource
+
+__all__ = ["ProtocolSimulator", "ProtocolNode", "JoinReport", "LeaveReport", "QueryReport"]
+
+
+# ----------------------------------------------------------------------
+# reports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinReport:
+    """Cost of one distributed join."""
+
+    object_id: int
+    routing_hops: int
+    messages: int
+    virtual_time: float
+
+
+@dataclass(frozen=True)
+class LeaveReport:
+    """Cost of one distributed (graceful) departure."""
+
+    object_id: int
+    messages: int
+    virtual_time: float
+
+
+@dataclass(frozen=True)
+class QueryReport:
+    """Cost and answer of one distributed point query."""
+
+    target: Point
+    owner: int
+    routing_hops: int
+    messages: int
+
+
+# ----------------------------------------------------------------------
+# per-object state
+# ----------------------------------------------------------------------
+@dataclass
+class _LocalLongLink:
+    target: Point
+    neighbor: int
+    neighbor_position: Point
+
+
+@dataclass
+class ProtocolNode:
+    """One object and its strictly local view."""
+
+    object_id: int
+    position: Point
+    simulator: "ProtocolSimulator" = field(repr=False)
+    voronoi: Dict[int, Point] = field(default_factory=dict)
+    close: Dict[int, Point] = field(default_factory=dict)
+    long_links: List[_LocalLongLink] = field(default_factory=list)
+    back_links: Dict[Tuple[int, int], Point] = field(default_factory=dict)
+    pending_close_replies: int = 0
+    pending_long_links: int = 0
+
+    # ------------------------------------------------------------------
+    # view helpers
+    # ------------------------------------------------------------------
+    def routing_candidates(self) -> Dict[int, Point]:
+        """Every neighbour usable for greedy forwarding, with its position."""
+        candidates: Dict[int, Point] = {}
+        candidates.update(self.voronoi)
+        candidates.update(self.close)
+        for link in self.long_links:
+            if link.neighbor != self.object_id:
+                candidates[link.neighbor] = link.neighbor_position
+        candidates.pop(self.object_id, None)
+        return candidates
+
+    def greedy_next_hop(self, target: Point) -> Optional[int]:
+        """Neighbour strictly closer to ``target`` than this node, if any."""
+        best = None
+        best_d = distance_sq(self.position, target)
+        for neighbor, neighbor_position in self.routing_candidates().items():
+            d = distance_sq(neighbor_position, target)
+            if d < best_d:
+                best, best_d = neighbor, d
+        return best
+
+    def view_size(self) -> int:
+        """Total number of entries stored at this object."""
+        return (len(self.voronoi) + len(self.close) + len(self.long_links)
+                + len(self.back_links))
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def handle(self, message: Message) -> None:
+        """Dispatch an incoming message to its protocol handler."""
+        handler = getattr(self, f"_on_{message.kind.lower()}", None)
+        if handler is None:
+            raise ValueError(f"unknown message kind {message.kind!r}")
+        handler(message)
+
+    # ---------------- join phase 1: routing the ADD_OBJECT -------------
+    def _on_add_object(self, message: Message) -> None:
+        payload = message.payload
+        target: Point = payload["position"]
+        next_hop = self.greedy_next_hop(target)
+        if next_hop is not None:
+            self.simulator.forward(self, next_hop, message)
+            return
+        # This node owns the region containing the new object: carve it out.
+        self.simulator.complete_insertion(owner=self, new_id=payload["new_id"],
+                                          position=target,
+                                          routing_hops=payload["hops"])
+
+    # ---------------- join phase 2: new node bootstraps ---------------
+    def _on_create_object(self, message: Message) -> None:
+        payload = message.payload
+        self.voronoi = dict(payload["voronoi"])
+        # Close-neighbour discovery (Lemma 1): ask every Voronoi neighbour.
+        if self.simulator.config.maintain_close_neighbors and self.voronoi:
+            self.pending_close_replies = len(self.voronoi)
+            for neighbor in list(self.voronoi):
+                self.simulator.send(self, neighbor, "CLOSE_REQUEST",
+                                    {"position": self.position})
+        else:
+            self._start_long_link_phase()
+
+    def _on_close_request(self, message: Message) -> None:
+        origin = message.sender
+        origin_position: Point = message.payload["position"]
+        d_min = self.simulator.config.effective_d_min
+        candidates: Dict[int, Point] = {self.object_id: self.position}
+        candidates.update(self.voronoi)
+        candidates.update(self.close)
+        close = {
+            oid: pos for oid, pos in candidates.items()
+            if oid != origin and distance(pos, origin_position) <= d_min
+        }
+        self.simulator.send(self, origin, "CLOSE_REPLY", {"candidates": close})
+
+    def _on_close_reply(self, message: Message) -> None:
+        d_min = self.simulator.config.effective_d_min
+        for oid, pos in message.payload["candidates"].items():
+            if oid != self.object_id and distance(pos, self.position) <= d_min:
+                self.close[oid] = pos
+        self.pending_close_replies -= 1
+        if self.pending_close_replies == 0:
+            for neighbor in list(self.close):
+                self.simulator.send(self, neighbor, "CLOSE_DECLARE",
+                                    {"position": self.position})
+            self._start_long_link_phase()
+
+    def _on_close_declare(self, message: Message) -> None:
+        self.close[message.sender] = message.payload["position"]
+
+    def _on_close_leave(self, message: Message) -> None:
+        self.close.pop(message.sender, None)
+
+    # ---------------- join phase 3: long links ------------------------
+    def _start_long_link_phase(self) -> None:
+        count = self.simulator.config.num_long_links
+        if count == 0:
+            self.simulator.operation_finished(self.object_id)
+            return
+        self.pending_long_links = count
+        d_min = self.simulator.config.effective_d_min
+        for index in range(count):
+            target = choose_long_range_target(self.position, d_min,
+                                              self.simulator.rng)
+            self.long_links.append(_LocalLongLink(target=target,
+                                                  neighbor=self.object_id,
+                                                  neighbor_position=self.position))
+            self.simulator.send(self, self.object_id, "SEARCH_LONG_LINK",
+                                {"target": target, "requester": self.object_id,
+                                 "link_index": index, "hops": 0})
+
+    def _on_search_long_link(self, message: Message) -> None:
+        payload = message.payload
+        target: Point = payload["target"]
+        next_hop = self.greedy_next_hop(target)
+        if next_hop is not None:
+            self.simulator.forward(self, next_hop, message)
+            return
+        # This node owns the target's region: it becomes the long-range contact.
+        requester = payload["requester"]
+        self.back_links[(requester, payload["link_index"])] = target
+        self.simulator.send(self, requester, "LONG_LINK_ESTABLISHED",
+                            {"link_index": payload["link_index"],
+                             "neighbor": self.object_id,
+                             "neighbor_position": self.position,
+                             "hops": payload["hops"]})
+
+    def _on_long_link_established(self, message: Message) -> None:
+        payload = message.payload
+        link = self.long_links[payload["link_index"]]
+        link.neighbor = payload["neighbor"]
+        link.neighbor_position = payload["neighbor_position"]
+        self.simulator.metrics.observe("long_link_hops", payload["hops"])
+        self.pending_long_links -= 1
+        if self.pending_long_links == 0:
+            self.simulator.operation_finished(self.object_id)
+
+    # ---------------- maintenance updates ------------------------------
+    def _on_region_update(self, message: Message) -> None:
+        payload = message.payload
+        self.voronoi = dict(payload["voronoi"])
+        new_id = payload.get("new_id")
+        new_position = payload.get("new_position")
+        if new_id is None:
+            return
+        # Hand over back registrations whose target the new object now owns.
+        stolen = [
+            key for key, target in self.back_links.items()
+            if distance(new_position, target) < distance(self.position, target)
+        ]
+        for key in stolen:
+            target = self.back_links.pop(key)
+            source, link_index = key
+            self.simulator.send(self, new_id, "BACKLINK_TRANSFER",
+                                {"source": source, "link_index": link_index,
+                                 "target": target})
+            self.simulator.send(self, source, "LONG_LINK_RETARGET",
+                                {"link_index": link_index, "neighbor": new_id,
+                                 "neighbor_position": new_position})
+
+    def _on_backlink_transfer(self, message: Message) -> None:
+        payload = message.payload
+        self.back_links[(payload["source"], payload["link_index"])] = payload["target"]
+
+    def _on_long_link_retarget(self, message: Message) -> None:
+        payload = message.payload
+        index = payload["link_index"]
+        if index < len(self.long_links):
+            self.long_links[index].neighbor = payload["neighbor"]
+            self.long_links[index].neighbor_position = payload["neighbor_position"]
+
+    def _on_backlink_remove(self, message: Message) -> None:
+        payload = message.payload
+        self.back_links.pop((payload["source"], payload["link_index"]), None)
+
+    # ---------------- queries ------------------------------------------
+    def _on_query(self, message: Message) -> None:
+        payload = message.payload
+        target: Point = payload["target"]
+        next_hop = self.greedy_next_hop(target)
+        if next_hop is not None:
+            self.simulator.forward(self, next_hop, message)
+            return
+        self.simulator.send(self, payload["requester"], "QUERY_ANSWER",
+                            {"target": target, "owner": self.object_id,
+                             "hops": payload["hops"]})
+
+    def _on_query_answer(self, message: Message) -> None:
+        self.simulator.record_query_answer(message.payload)
+
+
+# ----------------------------------------------------------------------
+# the simulator
+# ----------------------------------------------------------------------
+class ProtocolSimulator:
+    """Drives the message-level VoroNet protocol over the event engine.
+
+    Parameters
+    ----------
+    config:
+        Overlay configuration (``n_max``, ``d_min``, number of long links).
+    latency:
+        Per-message latency model (constant 1 time unit by default).
+    seed:
+        Seed of the simulator's random source (long-link targets,
+        introducer selection).
+
+    Examples
+    --------
+    >>> simulator = ProtocolSimulator(VoroNetConfig(n_max=64, seed=1), seed=1)
+    >>> report = simulator.join((0.25, 0.5))
+    >>> report.messages >= 0
+    True
+    """
+
+    def __init__(self, config: Optional[VoroNetConfig] = None, *,
+                 latency: Optional[LatencyModel] = None,
+                 seed: Optional[int] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self.config = config if config is not None else VoroNetConfig()
+        self.engine = SimulationEngine()
+        self.network = Network(self.engine, latency or ConstantLatency(1.0))
+        self.metrics = MetricsRegistry()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.rng = RandomSource(seed if seed is not None else self.config.seed)
+        self.kernel = DelaunayTriangulation()
+        self.nodes: Dict[int, ProtocolNode] = {}
+        self._next_id = 0
+        self._last_routing_hops = 0
+        self._last_query_answer: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # plumbing used by nodes
+    # ------------------------------------------------------------------
+    def send(self, sender: ProtocolNode, recipient: int, kind: str,
+             payload: Dict) -> None:
+        """Send one protocol message from ``sender`` to ``recipient``."""
+        self.trace.record(self.engine.now, "send", message_kind=kind,
+                          sender=sender.object_id, recipient=recipient)
+        self.network.send(Message(sender=sender.object_id, recipient=recipient,
+                                  kind=kind, payload=payload))
+
+    def forward(self, sender: ProtocolNode, recipient: int, message: Message) -> None:
+        """Forward a routed message one greedy hop further."""
+        payload = dict(message.payload)
+        payload["hops"] = payload.get("hops", 0) + 1
+        self.send(sender, recipient, message.kind, payload)
+
+    def operation_finished(self, object_id: int) -> None:
+        """Callback from nodes when their multi-message operation completes."""
+        self.trace.record(self.engine.now, "operation_finished", object_id=object_id)
+
+    def record_query_answer(self, payload: Dict) -> None:
+        self._last_query_answer = payload
+
+    # ------------------------------------------------------------------
+    # membership operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def object_ids(self) -> List[int]:
+        """Ids of the currently published objects."""
+        return list(self.nodes.keys())
+
+    def node(self, object_id: int) -> ProtocolNode:
+        """The local state of one object."""
+        return self.nodes[object_id]
+
+    def join(self, position: Point, introducer: Optional[int] = None) -> JoinReport:
+        """Publish an object through the full distributed join protocol."""
+        position = (float(position[0]), float(position[1]))
+        object_id = self._next_id
+        self._next_id += 1
+        node = ProtocolNode(object_id=object_id, position=position, simulator=self)
+        self.nodes[object_id] = node
+        self.network.register(object_id, node.handle)
+        before = self.network.messages_sent
+
+        if len(self.nodes) == 1:
+            # First object: nothing to route, no neighbours to discover.
+            self.kernel.insert(position, vertex_id=object_id)
+            self.metrics.increment("joins")
+            return JoinReport(object_id=object_id, routing_hops=0, messages=0,
+                              virtual_time=self.engine.now)
+
+        if introducer is None:
+            candidates = [oid for oid in self.nodes if oid != object_id]
+            introducer = candidates[self.rng.integer(0, len(candidates))]
+        self._last_routing_hops = 0
+        starter = self.nodes[introducer]
+        self.send(starter, introducer, "ADD_OBJECT",
+                  {"new_id": object_id, "position": position, "hops": 0})
+        self.engine.run()
+        self.metrics.increment("joins")
+        messages = self.network.messages_sent - before
+        self.metrics.observe("join_messages", messages)
+        self.metrics.observe("join_routing_hops", self._last_routing_hops)
+        return JoinReport(object_id=object_id,
+                          routing_hops=self._last_routing_hops,
+                          messages=messages, virtual_time=self.engine.now)
+
+    def complete_insertion(self, owner: ProtocolNode, new_id: int,
+                           position: Point, routing_hops: int) -> None:
+        """Region owner's ``AddVoronoiRegion``: carve the region, notify views."""
+        self._last_routing_hops = routing_hops
+        try:
+            self.kernel.insert(position, vertex_id=new_id, hint=owner.object_id)
+        except DuplicatePointError:
+            # Duplicate coordinates: refuse the join; the node stays isolated.
+            self.network.unregister(new_id)
+            del self.nodes[new_id]
+            return
+        affected = set(self.kernel.neighbors(new_id))
+        if len(self.nodes) <= 8:
+            # Bootstrapping a (near-)degenerate tessellation can change
+            # adjacency beyond the immediate neighbourhood; refresh everyone.
+            affected = set(self.nodes) - {new_id}
+        new_view = {nid: self.kernel.point(nid) for nid in self.kernel.neighbors(new_id)}
+        self.send(owner, new_id, "CREATE_OBJECT", {"voronoi": new_view})
+        for neighbor_id in affected:
+            if neighbor_id == new_id or neighbor_id not in self.nodes:
+                continue
+            view = {nid: self.kernel.point(nid)
+                    for nid in self.kernel.neighbors(neighbor_id)}
+            self.send(owner, neighbor_id, "REGION_UPDATE",
+                      {"voronoi": view, "new_id": new_id, "new_position": position})
+
+    def leave(self, object_id: int) -> LeaveReport:
+        """Withdraw an object through the distributed departure protocol."""
+        if object_id not in self.nodes:
+            raise KeyError(f"unknown object {object_id}")
+        node = self.nodes[object_id]
+        before = self.network.messages_sent
+        former_neighbors = [nid for nid in self.kernel.neighbors(object_id)
+                            if nid in self.nodes and nid != object_id]
+        self.kernel.remove(object_id)
+        affected = set(former_neighbors)
+        if len(self.nodes) <= 8:
+            affected = set(self.nodes) - {object_id}
+        # 1. Region updates to the neighbours inheriting the region.
+        for neighbor_id in affected:
+            if neighbor_id not in self.nodes:
+                continue
+            view = {nid: self.kernel.point(nid)
+                    for nid in self.kernel.neighbors(neighbor_id)}
+            self.send(node, neighbor_id, "REGION_UPDATE", {"voronoi": view})
+        # 2. Close-neighbour notifications.
+        for close_id in list(node.close):
+            if close_id in self.nodes:
+                self.send(node, close_id, "CLOSE_LEAVE", {})
+        # 3. Delegate hosted long links to the neighbour owning their target.
+        for (source, link_index), target in list(node.back_links.items()):
+            if source not in self.nodes or source == object_id:
+                continue
+            candidates = [nid for nid in former_neighbors if nid in self.nodes]
+            if not candidates:
+                candidates = [nid for nid in self.nodes if nid != object_id]
+            if not candidates:
+                continue
+            new_holder = min(candidates,
+                             key=lambda nid: distance(self.nodes[nid].position, target))
+            self.send(node, new_holder, "BACKLINK_TRANSFER",
+                      {"source": source, "link_index": link_index, "target": target})
+            self.send(node, source, "LONG_LINK_RETARGET",
+                      {"link_index": link_index, "neighbor": new_holder,
+                       "neighbor_position": self.nodes[new_holder].position})
+        # 4. Deregister our own long links at their endpoints.
+        for index, link in enumerate(node.long_links):
+            if link.neighbor in self.nodes and link.neighbor != object_id:
+                self.send(node, link.neighbor, "BACKLINK_REMOVE",
+                          {"source": object_id, "link_index": index})
+        self.engine.run()
+        self.network.unregister(object_id)
+        del self.nodes[object_id]
+        self.metrics.increment("leaves")
+        messages = self.network.messages_sent - before
+        self.metrics.observe("leave_messages", messages)
+        return LeaveReport(object_id=object_id, messages=messages,
+                           virtual_time=self.engine.now)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(self, target: Point, start: Optional[int] = None) -> QueryReport:
+        """Distributed point query: greedy routing plus one answer message."""
+        if not self.nodes:
+            raise RuntimeError("the overlay holds no objects")
+        target = (float(target[0]), float(target[1]))
+        if start is None:
+            ids = list(self.nodes)
+            start = ids[self.rng.integer(0, len(ids))]
+        before = self.network.messages_sent
+        self._last_query_answer = None
+        starter = self.nodes[start]
+        self.send(starter, start, "QUERY",
+                  {"target": target, "requester": start, "hops": 0})
+        self.engine.run()
+        messages = self.network.messages_sent - before
+        answer = self._last_query_answer or {"owner": start, "hops": 0}
+        self.metrics.increment("queries")
+        self.metrics.observe("query_hops", answer["hops"])
+        return QueryReport(target=target, owner=answer["owner"],
+                           routing_hops=answer["hops"], messages=messages)
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify_views(self) -> List[str]:
+        """Compare every local view against the shared kernel; list problems."""
+        problems: List[str] = []
+        d_min = self.config.effective_d_min
+        for object_id, node in self.nodes.items():
+            kernel_neighbors = set(self.kernel.neighbors(object_id))
+            local_neighbors = set(node.voronoi)
+            if kernel_neighbors != local_neighbors:
+                problems.append(
+                    f"{object_id}: local vn view {sorted(local_neighbors)} != "
+                    f"kernel {sorted(kernel_neighbors)}")
+            for close_id, close_position in node.close.items():
+                if close_id not in self.nodes:
+                    problems.append(f"{object_id}: stale close neighbour {close_id}")
+                elif distance(node.position, close_position) > d_min * (1 + 1e-9):
+                    problems.append(
+                        f"{object_id}: close neighbour {close_id} beyond d_min")
+            for link in node.long_links:
+                if link.neighbor not in self.nodes:
+                    problems.append(
+                        f"{object_id}: long link to departed {link.neighbor}")
+                    continue
+                owner = self.kernel.nearest_vertex(link.target, hint=link.neighbor)
+                if owner != link.neighbor:
+                    problems.append(
+                        f"{object_id}: long link points at {link.neighbor} but "
+                        f"{owner} owns the target")
+        return problems
+
+    def mean_view_size(self) -> float:
+        """Average number of view entries per object."""
+        if not self.nodes:
+            return 0.0
+        return sum(node.view_size() for node in self.nodes.values()) / len(self.nodes)

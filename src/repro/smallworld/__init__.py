@@ -1,0 +1,32 @@
+"""Small-world substrate: Kleinberg's grid model and its link distributions.
+
+VoroNet generalises Kleinberg's small-world construction from the ``n × n``
+grid to arbitrary object placements via Voronoi tessellations.  This
+package implements the original model — the background of Section 2.1 and
+the natural baseline for the overlay — plus the harmonic link-length
+distributions both constructions rely on and navigability measurement
+helpers.
+"""
+
+from repro.smallworld.kleinberg_grid import KleinbergGrid, GridRouteResult
+from repro.smallworld.link_distribution import (
+    grid_harmonic_weights,
+    sample_grid_long_range_contact,
+    sample_radial_offset,
+)
+from repro.smallworld.navigability import (
+    NavigabilityPoint,
+    measure_grid_routing,
+    sweep_exponents,
+)
+
+__all__ = [
+    "KleinbergGrid",
+    "GridRouteResult",
+    "grid_harmonic_weights",
+    "sample_grid_long_range_contact",
+    "sample_radial_offset",
+    "NavigabilityPoint",
+    "measure_grid_routing",
+    "sweep_exponents",
+]

@@ -1,0 +1,92 @@
+"""Long-range link-length distributions.
+
+Two samplers live here:
+
+* :func:`sample_grid_long_range_contact` — Kleinberg's original discrete
+  distribution on the grid, where node ``u`` picks node ``v`` with
+  probability proportional to ``d(u, v)^{-s}`` (lattice distance);
+* :func:`sample_radial_offset` — the continuous, radially symmetric
+  distribution VoroNet uses (Algorithm 3): log-uniform radius between
+  ``d_min`` and ``√2``, uniform angle, giving the ``1/(K d²)`` area density
+  of Lemma 2.
+
+The grid sampler backs the Kleinberg baseline; the radial sampler is shared
+with :mod:`repro.core.long_range` (re-exported there in overlay terms).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource
+
+__all__ = [
+    "grid_harmonic_weights",
+    "sample_grid_long_range_contact",
+    "sample_radial_offset",
+    "radial_offset_pdf",
+]
+
+GridCoord = Tuple[int, int]
+
+
+def grid_harmonic_weights(n: int, source: GridCoord, exponent: float) -> np.ndarray:
+    """Unnormalised ``d^{-s}`` weights from ``source`` to every grid node.
+
+    Parameters
+    ----------
+    n:
+        Grid side length (the grid is ``n × n``).
+    source:
+        ``(row, col)`` of the choosing node; its own weight is zero.
+    exponent:
+        The clustering exponent ``s``; Kleinberg's navigable value in two
+        dimensions is ``s = 2``.
+    """
+    rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    manhattan = np.abs(rows - source[0]) + np.abs(cols - source[1])
+    with np.errstate(divide="ignore"):
+        weights = np.where(manhattan > 0, manhattan.astype(np.float64) ** (-exponent), 0.0)
+    return weights
+
+
+def sample_grid_long_range_contact(n: int, source: GridCoord, exponent: float,
+                                   rng: RandomSource) -> GridCoord:
+    """Draw the long-range contact of ``source`` in an ``n × n`` grid.
+
+    The contact is any other grid node, picked with probability proportional
+    to ``(lattice distance)^{-exponent}``.
+    """
+    weights = grid_harmonic_weights(n, source, exponent)
+    flat = weights.ravel()
+    total = flat.sum()
+    if total <= 0:
+        raise ValueError("grid too small to have any long-range candidate")
+    probabilities = flat / total
+    index = int(rng.generator.choice(flat.size, p=probabilities))
+    return (index // n, index % n)
+
+
+def sample_radial_offset(d_min: float, d_max: float, rng: RandomSource) -> Tuple[float, float]:
+    """Draw a planar offset with log-uniform radius and uniform angle.
+
+    This is the body of Choose-LRT without the translation to the chooser's
+    position; the induced spatial density at distance ``d`` is
+    ``1 / (2π ln(d_max/d_min) d²)``.
+    """
+    if not 0.0 < d_min < d_max:
+        raise ValueError("need 0 < d_min < d_max")
+    a = rng.uniform(math.log(d_min), math.log(d_max))
+    theta = rng.uniform(0.0, 2.0 * math.pi)
+    radius = math.exp(a)
+    return (radius * math.cos(theta), radius * math.sin(theta))
+
+
+def radial_offset_pdf(distance_value: float, d_min: float, d_max: float) -> float:
+    """Area density of :func:`sample_radial_offset` at the given distance."""
+    if distance_value < d_min or distance_value > d_max:
+        return 0.0
+    return 1.0 / (2.0 * math.pi * math.log(d_max / d_min) * distance_value ** 2)

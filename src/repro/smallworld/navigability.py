@@ -1,0 +1,59 @@
+"""Navigability measurements on the Kleinberg grid.
+
+Kleinberg's theorem (recalled in Section 2.1) says greedy routing on the
+grid achieves poly-logarithmic paths exactly when the clustering exponent
+``s`` equals the dimension (2).  These helpers measure greedy performance
+across grid sizes and exponents, providing both the baseline series for the
+comparison benchmark and a sanity check that our grid substrate reproduces
+the classic U-shaped exponent curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.smallworld.kleinberg_grid import KleinbergGrid
+from repro.utils.rng import RandomSource
+
+__all__ = ["NavigabilityPoint", "measure_grid_routing", "sweep_exponents"]
+
+
+@dataclass(frozen=True)
+class NavigabilityPoint:
+    """One measurement: grid parameters plus the observed mean route length."""
+
+    n: int
+    exponent: float
+    long_links: int
+    mean_hops: float
+    num_pairs: int
+
+
+def measure_grid_routing(n: int, *, exponent: float = 2.0,
+                         long_links_per_node: int = 1,
+                         num_pairs: int = 200,
+                         rng: Optional[RandomSource] = None) -> NavigabilityPoint:
+    """Build one Kleinberg grid and measure its mean greedy route length."""
+    rng = rng if rng is not None else RandomSource()
+    grid = KleinbergGrid(n, exponent=exponent,
+                         long_links_per_node=long_links_per_node, rng=rng)
+    mean_hops = grid.mean_route_length(num_pairs, rng)
+    return NavigabilityPoint(n=n, exponent=exponent,
+                             long_links=long_links_per_node,
+                             mean_hops=mean_hops, num_pairs=num_pairs)
+
+
+def sweep_exponents(n: int, exponents: Sequence[float], *,
+                    num_pairs: int = 200,
+                    rng: Optional[RandomSource] = None) -> List[NavigabilityPoint]:
+    """Measure greedy routing for several clustering exponents on one grid size.
+
+    The resulting series exhibits Kleinberg's signature minimum at
+    ``s = 2`` once ``n`` is large enough.
+    """
+    rng = rng if rng is not None else RandomSource()
+    return [
+        measure_grid_routing(n, exponent=exponent, num_pairs=num_pairs, rng=rng)
+        for exponent in exponents
+    ]

@@ -1,0 +1,47 @@
+"""Lightweight logging configuration for the library.
+
+The library never configures the root logger; applications opt in with
+:func:`configure_logging`.  Simulation components use module-level loggers
+obtained through :func:`get_logger` so that verbose protocol traces can be
+enabled selectively (e.g. only ``repro.simulation.protocol``).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_LIBRARY_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the library root."""
+    if not name.startswith(_LIBRARY_ROOT):
+        name = f"{_LIBRARY_ROOT}.{name}"
+    logger = logging.getLogger(name)
+    logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def configure_logging(level: int = logging.INFO,
+                      stream=None,
+                      fmt: Optional[str] = None) -> logging.Logger:
+    """Attach a stream handler to the library root logger.
+
+    Returns the configured root library logger so callers can tweak it
+    further.  Safe to call repeatedly; existing stream handlers installed by
+    this function are replaced.
+    """
+    root = logging.getLogger(_LIBRARY_ROOT)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_installed", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(fmt or _FORMAT))
+    handler._repro_installed = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

@@ -1,0 +1,68 @@
+"""Small argument-validation helpers used across the library.
+
+Keeping these in one place gives consistent error messages and makes the
+public API strict about its inputs without repeating boilerplate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_probability",
+    "check_in_unit_square",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_unit_square(point: Tuple[float, float], name: str = "point",
+                         tolerance: float = 0.0) -> Tuple[float, float]:
+    """Validate that a 2-D point lies inside the unit square.
+
+    Parameters
+    ----------
+    point:
+        ``(x, y)`` pair.
+    name:
+        Name used in the error message.
+    tolerance:
+        Allowed overshoot outside [0, 1] on each axis (long-link *targets*
+        may legitimately fall outside the square, per the paper).
+    """
+    if len(point) != 2:
+        raise ValueError(f"{name} must be a 2-D point, got {point!r}")
+    x, y = float(point[0]), float(point[1])
+    lo, hi = -tolerance, 1.0 + tolerance
+    if not (lo <= x <= hi and lo <= y <= hi):
+        raise ValueError(
+            f"{name} must lie in the unit square (tolerance {tolerance}), got {point!r}"
+        )
+    return (x, y)
+
+
+def ensure_type(value: Any, expected: type, name: str) -> Any:
+    """Validate ``isinstance(value, expected)`` and return ``value``."""
+    if not isinstance(value, expected):
+        raise TypeError(f"{name} must be {expected.__name__}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,44 @@
+"""Workload generation: object placements, query mixes and churn traces.
+
+The paper's evaluation populates the unit square with 300 000 objects drawn
+from a uniform distribution and from power-law ("sparse") distributions of
+increasing skew (α = 1, 2, 5), then measures routing between random object
+pairs.  This package generates those placements plus the richer workloads
+used by the examples and ablation benchmarks.
+"""
+
+from repro.workloads.distributions import (
+    ClusteredDistribution,
+    GridDistribution,
+    ObjectDistribution,
+    PowerLawDistribution,
+    UniformDistribution,
+    distribution_by_name,
+    paper_distributions,
+)
+from repro.workloads.generators import (
+    QueryWorkload,
+    RoutingPairs,
+    generate_objects,
+    generate_query_workload,
+    generate_routing_pairs,
+)
+from repro.workloads.churn import ChurnEvent, ChurnTrace, generate_churn_trace
+
+__all__ = [
+    "ObjectDistribution",
+    "UniformDistribution",
+    "PowerLawDistribution",
+    "ClusteredDistribution",
+    "GridDistribution",
+    "distribution_by_name",
+    "paper_distributions",
+    "generate_objects",
+    "generate_routing_pairs",
+    "generate_query_workload",
+    "RoutingPairs",
+    "QueryWorkload",
+    "ChurnEvent",
+    "ChurnTrace",
+    "generate_churn_trace",
+]

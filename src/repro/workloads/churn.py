@@ -1,0 +1,116 @@
+"""Churn traces: interleaved join/leave sequences.
+
+The paper's maintenance algorithms (Section 3.3 / 4.2) are exercised by
+replaying traces of object arrivals and departures; this module generates
+such traces with a controllable arrival/departure mix and replays them
+against an overlay, which is what the churn example and the maintenance
+benchmark (ABL3) use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import ObjectDistribution, UniformDistribution
+
+__all__ = ["ChurnEvent", "ChurnTrace", "generate_churn_trace", "replay_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn event: either a join (with a position) or a leave."""
+
+    kind: str  # "join" or "leave"
+    position: Optional[Point] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ValueError(f"kind must be 'join' or 'leave', got {self.kind!r}")
+        if self.kind == "join" and self.position is None:
+            raise ValueError("join events need a position")
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """An ordered sequence of churn events."""
+
+    events: Tuple[ChurnEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def join_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "join")
+
+    @property
+    def leave_count(self) -> int:
+        return sum(1 for e in self.events if e.kind == "leave")
+
+
+def generate_churn_trace(num_events: int, rng: RandomSource, *,
+                         leave_probability: float = 0.3,
+                         warmup_joins: int = 16,
+                         distribution: Optional[ObjectDistribution] = None) -> ChurnTrace:
+    """Generate an interleaved join/leave trace.
+
+    Parameters
+    ----------
+    num_events:
+        Total number of events (including the warm-up joins).
+    leave_probability:
+        Probability that a post-warm-up event is a departure; the expected
+        population therefore grows at rate ``1 - 2·leave_probability`` per
+        event.
+    warmup_joins:
+        Number of guaranteed initial joins so the overlay never drains to
+        zero during the trace.
+    distribution:
+        Placement distribution for joining objects (uniform by default).
+    """
+    if num_events < warmup_joins:
+        raise ValueError("num_events must be at least warmup_joins")
+    if not 0.0 <= leave_probability < 1.0:
+        raise ValueError("leave_probability must be in [0, 1)")
+    distribution = distribution or UniformDistribution()
+    positions = generate_positions = distribution.sample(num_events, rng)
+    events: List[ChurnEvent] = []
+    position_index = 0
+    population = 0
+    for event_index in range(num_events):
+        if event_index < warmup_joins or population <= 2 or \
+                rng.uniform() >= leave_probability:
+            events.append(ChurnEvent(kind="join",
+                                     position=positions[position_index]))
+            position_index += 1
+            population += 1
+        else:
+            events.append(ChurnEvent(kind="leave"))
+            population -= 1
+    return ChurnTrace(events=tuple(events))
+
+
+def replay_churn(overlay, trace: ChurnTrace, rng: RandomSource) -> List[int]:
+    """Replay a churn trace against an overlay.
+
+    Joins publish the event's position; leaves withdraw a uniformly random
+    currently-published object.  Returns the list of object ids that are
+    still alive after the replay.
+    """
+    alive: List[int] = list(overlay.object_ids())
+    for event in trace:
+        if event.kind == "join":
+            alive.append(overlay.insert(event.position))
+        else:
+            if len(alive) <= 1:
+                continue
+            victim_index = rng.integer(0, len(alive))
+            victim = alive.pop(victim_index)
+            overlay.remove(victim)
+    return alive

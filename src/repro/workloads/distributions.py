@@ -1,0 +1,200 @@
+"""Object-placement distributions over the unit square.
+
+The evaluation section of the paper uses two families:
+
+* an **even (uniform)** distribution, and
+* **power-law** ("sparse") distributions where "the frequency of the i-th
+  most popular value is proportional to ``1/i^α``", with α ∈ {1, 2, 5} for
+  low, mid and high skew.
+
+The power-law family is realised here by ranking the cells of a regular
+grid over the unit square, assigning them Zipf(α) probabilities in a
+shuffled rank order, and drawing object positions by first picking a cell
+with those probabilities and then placing the object uniformly inside it —
+exactly the "popular attribute values attract many objects" regime the
+paper targets, while keeping positions continuous so no two objects
+coincide.
+
+Two extra families (clustered Gaussian mixtures and perturbed grids) are
+provided for ablation studies.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.utils.rng import RandomSource
+
+__all__ = [
+    "ObjectDistribution",
+    "UniformDistribution",
+    "PowerLawDistribution",
+    "ClusteredDistribution",
+    "GridDistribution",
+    "distribution_by_name",
+    "paper_distributions",
+]
+
+
+class ObjectDistribution(abc.ABC):
+    """Base class of object-placement distributions.
+
+    Subclasses implement :meth:`sample_array`, returning an ``(n, 2)`` array
+    of positions strictly inside the unit square.
+    """
+
+    #: Short machine-readable name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample_array(self, count: int, rng: RandomSource) -> np.ndarray:
+        """Draw ``count`` positions as an ``(n, 2)`` float array in ``(0, 1)²``."""
+
+    def sample(self, count: int, rng: RandomSource) -> List[Point]:
+        """Draw ``count`` positions as a list of ``(x, y)`` tuples."""
+        array = self.sample_array(count, rng)
+        return [(float(x), float(y)) for x, y in array]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    @staticmethod
+    def _clip_open_unit(array: np.ndarray) -> np.ndarray:
+        """Clamp positions to the open unit square (avoids exact-boundary ties)."""
+        epsilon = 1e-9
+        return np.clip(array, epsilon, 1.0 - epsilon)
+
+
+class UniformDistribution(ObjectDistribution):
+    """Positions drawn uniformly at random over the unit square."""
+
+    name = "uniform"
+
+    def sample_array(self, count: int, rng: RandomSource) -> np.ndarray:
+        return self._clip_open_unit(rng.generator.random((count, 2)))
+
+
+class PowerLawDistribution(ObjectDistribution):
+    """Zipf-ranked grid-cell distribution (the paper's "sparse" workloads).
+
+    Parameters
+    ----------
+    alpha:
+        Skew exponent; the i-th most popular cell receives probability
+        proportional to ``1 / i^alpha``.  The paper uses 1, 2 and 5.
+    cells_per_axis:
+        Resolution of the ranking grid.  The default (32) gives 1024 ranked
+        attribute values; at α = 5 the most popular value already receives
+        ~93 % of all objects, i.e. an overdensity of roughly 1000× over
+        uniform, which is the "highly sparse" regime the paper evaluates.
+    """
+
+    def __init__(self, alpha: float, cells_per_axis: int = 32) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be > 0, got {alpha}")
+        if cells_per_axis < 2:
+            raise ValueError("cells_per_axis must be at least 2")
+        self.alpha = float(alpha)
+        self.cells_per_axis = int(cells_per_axis)
+        self.name = f"powerlaw-a{alpha:g}"
+
+    def sample_array(self, count: int, rng: RandomSource) -> np.ndarray:
+        generator = rng.generator
+        total_cells = self.cells_per_axis ** 2
+        ranks = np.arange(1, total_cells + 1, dtype=np.float64)
+        weights = ranks ** (-self.alpha)
+        weights /= weights.sum()
+        # Shuffle which spatial cell gets which popularity rank so the skew is
+        # not spatially correlated with the square's corner.
+        cell_order = generator.permutation(total_cells)
+        chosen_ranks = generator.choice(total_cells, size=count, p=weights)
+        chosen_cells = cell_order[chosen_ranks]
+        rows, cols = np.divmod(chosen_cells, self.cells_per_axis)
+        jitter = generator.random((count, 2))
+        cell = 1.0 / self.cells_per_axis
+        xs = (cols + jitter[:, 0]) * cell
+        ys = (rows + jitter[:, 1]) * cell
+        return self._clip_open_unit(np.column_stack([xs, ys]))
+
+
+class ClusteredDistribution(ObjectDistribution):
+    """Gaussian-mixture clusters (hot spots) over the unit square.
+
+    Not part of the paper's evaluation; used by the close-neighbour ablation
+    (ABL1) to produce extremely dense local clusters.
+    """
+
+    def __init__(self, num_clusters: int = 8, spread: float = 0.02,
+                 background_fraction: float = 0.05) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be at least 1")
+        if spread <= 0:
+            raise ValueError("spread must be > 0")
+        if not 0.0 <= background_fraction <= 1.0:
+            raise ValueError("background_fraction must be in [0, 1]")
+        self.num_clusters = num_clusters
+        self.spread = spread
+        self.background_fraction = background_fraction
+        self.name = f"clustered-k{num_clusters}"
+
+    def sample_array(self, count: int, rng: RandomSource) -> np.ndarray:
+        generator = rng.generator
+        centers = generator.uniform(0.1, 0.9, size=(self.num_clusters, 2))
+        assignment = generator.integers(0, self.num_clusters, size=count)
+        positions = centers[assignment] + generator.normal(
+            0.0, self.spread, size=(count, 2))
+        background = generator.random(count) < self.background_fraction
+        positions[background] = generator.random((int(background.sum()), 2))
+        return self._clip_open_unit(positions)
+
+
+class GridDistribution(ObjectDistribution):
+    """A perturbed regular lattice (near-degenerate input for stress tests)."""
+
+    def __init__(self, jitter: float = 1e-3) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.jitter = jitter
+        self.name = "grid"
+
+    def sample_array(self, count: int, rng: RandomSource) -> np.ndarray:
+        generator = rng.generator
+        side = max(2, int(math.ceil(math.sqrt(count))))
+        xs, ys = np.meshgrid(
+            (np.arange(side) + 0.5) / side,
+            (np.arange(side) + 0.5) / side,
+        )
+        lattice = np.column_stack([xs.ravel(), ys.ravel()])[:count]
+        lattice = lattice + generator.uniform(-self.jitter, self.jitter,
+                                              size=lattice.shape)
+        return self._clip_open_unit(lattice)
+
+
+def paper_distributions() -> List[ObjectDistribution]:
+    """The four distributions of the paper's evaluation, in figure order."""
+    return [
+        UniformDistribution(),
+        PowerLawDistribution(alpha=1.0),
+        PowerLawDistribution(alpha=2.0),
+        PowerLawDistribution(alpha=5.0),
+    ]
+
+
+def distribution_by_name(name: str) -> ObjectDistribution:
+    """Look up a distribution by its short name (used by CLI/benchmarks)."""
+    registry: Dict[str, ObjectDistribution] = {
+        d.name: d for d in paper_distributions()
+    }
+    registry["clustered"] = ClusteredDistribution()
+    registry["grid"] = GridDistribution()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; available: {sorted(registry)}"
+        ) from None

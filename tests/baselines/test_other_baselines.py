@@ -1,0 +1,103 @@
+"""Unit tests for the Delaunay-only, Kleinberg and random-graph baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.delaunay_only import DelaunayOnlyOverlay
+from repro.baselines.kleinberg import KleinbergBaseline
+from repro.baselines.random_graph import RandomGraphOverlay
+from repro.utils.rng import RandomSource
+
+
+class TestDelaunayOnly:
+    @pytest.fixture
+    def baseline(self, numpy_rng):
+        baseline = DelaunayOnlyOverlay(n_max=400, seed=3)
+        baseline.insert_many([tuple(p) for p in numpy_rng.random((150, 2))])
+        return baseline
+
+    def test_no_long_links(self, baseline):
+        for oid in baseline.object_ids():
+            assert baseline.overlay.node(oid).long_links == []
+
+    def test_routing_succeeds(self, baseline, numpy_rng):
+        ids = baseline.object_ids()
+        for _ in range(25):
+            a, b = numpy_rng.choice(ids, size=2, replace=False)
+            result = baseline.route(int(a), int(b))
+            assert result.success and result.owner == int(b)
+
+    def test_remove(self, baseline):
+        victim = baseline.object_ids()[0]
+        baseline.remove(victim)
+        assert victim not in baseline.object_ids()
+        assert len(baseline) == 149
+
+    def test_slower_than_voronet_on_average(self, numpy_rng):
+        """The whole point of the long links: VoroNet beats Delaunay-only."""
+        from repro.core import VoroNet, VoroNetConfig
+
+        positions = [tuple(p) for p in numpy_rng.random((400, 2))]
+        voronet = VoroNet(VoroNetConfig(n_max=500, seed=11))
+        baseline = DelaunayOnlyOverlay(n_max=500, seed=11)
+        for p in positions:
+            voronet.insert(p)
+            baseline.insert(p)
+        ids = voronet.object_ids()
+        pairs = [tuple(numpy_rng.choice(ids, size=2, replace=False)) for _ in range(60)]
+        voronet_hops = np.mean([voronet.route(int(a), int(b)).hops for a, b in pairs])
+        baseline_hops = np.mean([baseline.route(int(a), int(b)).hops for a, b in pairs])
+        assert voronet_hops < baseline_hops
+
+
+class TestKleinbergBaseline:
+    def test_size_and_positions(self):
+        baseline = KleinbergBaseline(8, rng=RandomSource(1))
+        assert len(baseline) == 64
+        x, y = baseline.position_of(0)
+        assert 0 < x < 1 and 0 < y < 1
+
+    def test_route_between_objects(self):
+        baseline = KleinbergBaseline(10, rng=RandomSource(2))
+        result = baseline.route(0, 99)
+        assert result.success
+
+    def test_mean_route_length(self):
+        baseline = KleinbergBaseline(10, rng=RandomSource(3))
+        assert baseline.mean_route_length(50, RandomSource(3)) > 0
+
+
+class TestRandomGraph:
+    @pytest.fixture
+    def positions(self, numpy_rng):
+        return [tuple(p) for p in numpy_rng.random((250, 2))]
+
+    def test_validation(self, positions):
+        with pytest.raises(ValueError):
+            RandomGraphOverlay(positions[:1])
+        with pytest.raises(ValueError):
+            RandomGraphOverlay(positions, links_per_node=0)
+
+    def test_adjacency_symmetric(self, positions):
+        graph = RandomGraphOverlay(positions, rng=RandomSource(1))
+        for node in graph.object_ids():
+            for nb in graph.neighbors(node):
+                assert node in graph.neighbors(nb)
+
+    def test_route_self_loop(self, positions):
+        graph = RandomGraphOverlay(positions, rng=RandomSource(2))
+        result = graph.route(3, 3)
+        assert result.success and result.hops == 0
+
+    def test_measure_reports_rates(self, positions):
+        graph = RandomGraphOverlay(positions, rng=RandomSource(3))
+        report = graph.measure(100, RandomSource(4))
+        assert 0.0 <= report["success_rate"] <= 1.0
+
+    def test_random_links_are_not_navigable(self, positions, numpy_rng):
+        """Greedy routing over uniform random links fails far more often than
+        over VoroNet (which never fails)."""
+        graph = RandomGraphOverlay(positions, links_per_node=3,
+                                   connect_nearest=False, rng=RandomSource(5))
+        report = graph.measure(200, RandomSource(6))
+        assert report["success_rate"] < 0.9

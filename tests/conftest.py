@@ -1,0 +1,55 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.geometry import DelaunayTriangulation
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> RandomSource:
+    """A deterministic random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def numpy_rng() -> np.random.Generator:
+    """A deterministic raw numpy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def random_points(numpy_rng) -> list:
+    """200 uniform random points in the unit square (deterministic)."""
+    return [tuple(p) for p in numpy_rng.random((200, 2))]
+
+
+@pytest.fixture
+def triangulation(random_points) -> DelaunayTriangulation:
+    """A triangulation of 200 random points."""
+    dt = DelaunayTriangulation()
+    for point in random_points:
+        dt.insert(point)
+    return dt
+
+
+@pytest.fixture
+def small_overlay(numpy_rng) -> VoroNet:
+    """A 120-object overlay with one long link per object."""
+    overlay = VoroNet(VoroNetConfig(n_max=500, seed=7))
+    for point in numpy_rng.random((120, 2)):
+        overlay.insert(tuple(point))
+    return overlay
+
+
+@pytest.fixture
+def tiny_overlay() -> VoroNet:
+    """A 5-object overlay with hand-placed positions."""
+    overlay = VoroNet(VoroNetConfig(n_max=32, seed=3))
+    for point in [(0.2, 0.2), (0.8, 0.2), (0.5, 0.8), (0.5, 0.45), (0.25, 0.7)]:
+        overlay.insert(point)
+    return overlay

@@ -1,0 +1,78 @@
+"""Unit tests for VoroNetConfig."""
+
+import math
+
+import pytest
+
+from repro.core.config import DEFAULT_N_MAX, VoroNetConfig
+
+
+class TestDefaults:
+    def test_default_values(self):
+        config = VoroNetConfig()
+        assert config.n_max == DEFAULT_N_MAX
+        assert config.num_long_links == 1
+        assert config.maintain_close_neighbors
+        assert config.maintain_back_links
+        assert not config.allow_overflow
+
+    def test_effective_d_min_formula(self):
+        config = VoroNetConfig(n_max=10_000)
+        assert config.effective_d_min == pytest.approx(1.0 / math.sqrt(math.pi * 10_000))
+
+    def test_explicit_d_min_wins(self):
+        config = VoroNetConfig(n_max=10_000, d_min=0.05)
+        assert config.effective_d_min == 0.05
+
+    def test_d_min_shrinks_with_n_max(self):
+        small = VoroNetConfig(n_max=100).effective_d_min
+        large = VoroNetConfig(n_max=100_000).effective_d_min
+        assert large < small
+
+    def test_long_link_normalization(self):
+        config = VoroNetConfig(n_max=1000)
+        expected = 2 * math.pi * math.log(math.sqrt(2) / config.effective_d_min)
+        assert config.long_link_normalization == pytest.approx(expected)
+
+    def test_expected_route_bound(self):
+        config = VoroNetConfig(n_max=1000)
+        assert config.expected_route_bound() == pytest.approx(math.log(1000) ** 2)
+        assert config.expected_route_bound(alpha=2.0) == pytest.approx(
+            2 * math.log(1000) ** 2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n_max", [0, -1])
+    def test_invalid_n_max(self, n_max):
+        with pytest.raises(ValueError):
+            VoroNetConfig(n_max=n_max)
+
+    def test_invalid_num_long_links(self):
+        with pytest.raises(ValueError):
+            VoroNetConfig(num_long_links=-1)
+
+    @pytest.mark.parametrize("d_min", [0.0, -0.1, 2.0])
+    def test_invalid_d_min(self, d_min):
+        with pytest.raises(ValueError):
+            VoroNetConfig(d_min=d_min)
+
+    def test_zero_long_links_allowed(self):
+        assert VoroNetConfig(num_long_links=0).num_long_links == 0
+
+    def test_frozen(self):
+        config = VoroNetConfig()
+        with pytest.raises(Exception):
+            config.n_max = 5  # type: ignore[misc]
+
+
+class TestWithUpdates:
+    def test_with_updates_changes_field(self):
+        config = VoroNetConfig(n_max=500)
+        updated = config.with_updates(num_long_links=4)
+        assert updated.num_long_links == 4
+        assert updated.n_max == 500
+        assert config.num_long_links == 1
+
+    def test_with_updates_validates(self):
+        with pytest.raises(ValueError):
+            VoroNetConfig().with_updates(n_max=-5)

@@ -1,0 +1,37 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    DuplicateObjectError,
+    EmptyOverlayError,
+    ObjectNotFoundError,
+    OverlayFullError,
+    RoutingError,
+    VoroNetError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        ObjectNotFoundError, DuplicateObjectError, OverlayFullError,
+        EmptyOverlayError, RoutingError,
+    ])
+    def test_all_derive_from_voronet_error(self, exc_class):
+        assert issubclass(exc_class, VoroNetError)
+
+    def test_object_not_found_is_keyerror(self):
+        assert issubclass(ObjectNotFoundError, KeyError)
+
+    def test_duplicate_is_valueerror(self):
+        assert issubclass(DuplicateObjectError, ValueError)
+
+    def test_object_not_found_carries_id(self):
+        error = ObjectNotFoundError(42)
+        assert error.object_id == 42
+        assert "42" in str(error)
+
+    def test_overlay_full_carries_n_max(self):
+        error = OverlayFullError(1000)
+        assert error.n_max == 1000
+        assert "1000" in str(error)

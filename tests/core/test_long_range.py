@@ -1,0 +1,135 @@
+"""Unit tests for the Choose-LRT long-range target sampler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.long_range import (
+    choose_long_range_target,
+    choose_long_range_targets,
+    expected_link_count_in_disk,
+    link_length_density,
+    target_area_density,
+)
+from repro.utils.rng import RandomSource
+
+
+class TestChooseTarget:
+    def test_length_within_support(self):
+        rng = RandomSource(1)
+        d_min = 0.01
+        for _ in range(500):
+            target = choose_long_range_target((0.5, 0.5), d_min, rng)
+            length = math.dist((0.5, 0.5), target)
+            assert d_min - 1e-12 <= length <= math.sqrt(2) + 1e-12
+
+    def test_target_may_leave_unit_square(self):
+        rng = RandomSource(2)
+        outside = 0
+        for _ in range(500):
+            target = choose_long_range_target((0.05, 0.05), 0.01, rng)
+            if not (0 <= target[0] <= 1 and 0 <= target[1] <= 1):
+                outside += 1
+        assert outside > 0  # corners frequently shoot outside, as the paper allows
+
+    def test_invalid_d_min_raises(self):
+        rng = RandomSource(3)
+        with pytest.raises(ValueError):
+            choose_long_range_target((0.5, 0.5), 0.0, rng)
+        with pytest.raises(ValueError):
+            choose_long_range_target((0.5, 0.5), 2.0, rng)
+
+    def test_deterministic_given_seed(self):
+        a = choose_long_range_target((0.5, 0.5), 0.01, RandomSource(9))
+        b = choose_long_range_target((0.5, 0.5), 0.01, RandomSource(9))
+        assert a == b
+
+    def test_lengths_are_log_uniform(self):
+        """The log of the link length must be (approximately) uniform."""
+        rng = RandomSource(4)
+        d_min = 0.001
+        logs = []
+        for _ in range(4000):
+            target = choose_long_range_target((0.5, 0.5), d_min, rng)
+            logs.append(math.log(math.dist((0.5, 0.5), target)))
+        logs = np.array(logs)
+        lo, hi = math.log(d_min), math.log(math.sqrt(2))
+        # Compare quartiles of the empirical distribution with the uniform ones.
+        expected_quartiles = lo + (hi - lo) * np.array([0.25, 0.5, 0.75])
+        observed_quartiles = np.percentile(logs, [25, 50, 75])
+        np.testing.assert_allclose(observed_quartiles, expected_quartiles, atol=0.12)
+
+    def test_angles_are_uniform(self):
+        rng = RandomSource(5)
+        angles = []
+        for _ in range(4000):
+            target = choose_long_range_target((0.5, 0.5), 0.01, rng)
+            angles.append(math.atan2(target[1] - 0.5, target[0] - 0.5))
+        quadrants = np.histogram(angles, bins=4, range=(-math.pi, math.pi))[0]
+        assert quadrants.min() > 0.8 * quadrants.max()
+
+
+class TestBatchSampling:
+    def test_count(self):
+        targets = choose_long_range_targets((0.5, 0.5), 0.01, 10, RandomSource(1))
+        assert len(targets) == 10
+
+    def test_zero_count(self):
+        assert choose_long_range_targets((0.5, 0.5), 0.01, 0, RandomSource(1)) == []
+
+    def test_invalid_d_min(self):
+        with pytest.raises(ValueError):
+            choose_long_range_targets((0.5, 0.5), 0.0, 3, RandomSource(1))
+
+    def test_batch_lengths_within_support(self):
+        targets = choose_long_range_targets((0.2, 0.8), 0.05, 200, RandomSource(2))
+        for target in targets:
+            length = math.dist((0.2, 0.8), target)
+            assert 0.05 - 1e-12 <= length <= math.sqrt(2) + 1e-12
+
+
+class TestDensities:
+    def test_link_length_density_integrates_to_one(self):
+        d_min = 0.01
+        xs = np.linspace(d_min, math.sqrt(2), 20000)
+        ys = [link_length_density(x, d_min) for x in xs]
+        assert np.trapezoid(ys, xs) == pytest.approx(1.0, rel=1e-3)
+
+    def test_density_zero_outside_support(self):
+        assert link_length_density(0.001, 0.01) == 0.0
+        assert link_length_density(2.0, 0.01) == 0.0
+
+    def test_area_density_inverse_square(self):
+        d_min = 0.01
+        near = target_area_density(0.1, d_min)
+        far = target_area_density(0.2, d_min)
+        assert near / far == pytest.approx(4.0)
+
+    def test_lemma3_bound_distance_independent(self):
+        d_min = 0.01
+        assert expected_link_count_in_disk(0.1, 1 / 6, d_min) == pytest.approx(
+            expected_link_count_in_disk(0.7, 1 / 6, d_min))
+
+    def test_lemma3_bound_positive_and_small(self):
+        bound = expected_link_count_in_disk(0.3, 1 / 6, 0.01)
+        assert 0.0 < bound < 1.0
+
+    def test_empirical_hit_rate_respects_lemma3_bound(self):
+        """The probability of the target landing in a remote disk is at least
+        the Lemma 3 lower bound."""
+        rng = RandomSource(6)
+        d_min = 0.01
+        source = (0.2, 0.2)
+        center = (0.7, 0.7)
+        r = math.dist(source, center)
+        fraction = 1 / 6
+        radius = fraction * r
+        hits = 0
+        samples = 8000
+        for _ in range(samples):
+            target = choose_long_range_target(source, d_min, rng)
+            if math.dist(target, center) <= radius:
+                hits += 1
+        bound = expected_link_count_in_disk(r, fraction, d_min)
+        assert hits / samples >= bound * 0.8  # generous slack for sampling noise

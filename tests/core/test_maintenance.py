@@ -1,0 +1,103 @@
+"""Unit tests for overlay maintenance (AddVoronoiRegion / RemoveVoronoiRegion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.maintenance import view_consistency_report
+from repro.geometry.point import distance
+
+
+@pytest.fixture
+def overlay(numpy_rng):
+    overlay = VoroNet(VoroNetConfig(n_max=400, seed=13))
+    for p in numpy_rng.random((150, 2)):
+        overlay.insert(tuple(p))
+    return overlay
+
+
+class TestJoinMaintenance:
+    def test_long_link_invariant_after_every_join(self, numpy_rng):
+        """After each join, every long link in the overlay points at the
+        object owning the region containing its target (the invariant
+        Section 3.3 promises to keep)."""
+        overlay = VoroNet(VoroNetConfig(n_max=200, seed=17))
+        for p in numpy_rng.random((60, 2)):
+            overlay.insert(tuple(p))
+            for oid in overlay.object_ids():
+                for link in overlay.node(oid).long_links:
+                    assert overlay.owner_of(link.target) == link.neighbor
+
+    def test_back_links_match_long_links(self, overlay):
+        for oid in overlay.object_ids():
+            for index, link in enumerate(overlay.node(oid).long_links):
+                endpoint = overlay.node(link.neighbor)
+                assert any(bl.source == oid and bl.link_index == index
+                           for bl in endpoint.back_links)
+
+    def test_join_message_cost_is_local(self, overlay):
+        """Mean join messages must be far below the overlay size (O(1) + routing)."""
+        assert overlay.stats.joins.mean_messages < len(overlay) / 3
+
+    def test_consistency_report_clean(self, overlay):
+        assert view_consistency_report(overlay) == []
+
+
+class TestLeaveMaintenance:
+    def test_leave_preserves_long_link_invariant(self, overlay, numpy_rng):
+        victims = numpy_rng.choice(overlay.object_ids(), size=50, replace=False)
+        for victim in victims:
+            overlay.remove(int(victim))
+            for oid in overlay.object_ids():
+                for link in overlay.node(oid).long_links:
+                    assert link.neighbor in overlay
+        assert view_consistency_report(overlay) == []
+
+    def test_leave_cleans_close_neighbors(self, numpy_rng):
+        overlay = VoroNet(VoroNetConfig(n_max=40, seed=19))
+        for p in numpy_rng.random((40, 2)):
+            overlay.insert(tuple(p))
+        victim = next(oid for oid in overlay.object_ids()
+                      if overlay.node(oid).close_neighbors)
+        neighbours = set(overlay.node(victim).close_neighbors)
+        overlay.remove(victim)
+        for nb in neighbours:
+            assert victim not in overlay.node(nb).close_neighbors
+
+    def test_leave_cleans_back_registrations(self, overlay):
+        victim = overlay.object_ids()[0]
+        endpoints = [link.neighbor for link in overlay.node(victim).long_links
+                     if link.neighbor != victim]
+        overlay.remove(victim)
+        for endpoint in endpoints:
+            if endpoint in overlay:
+                assert victim not in overlay.node(endpoint).back_link_sources()
+
+    def test_leave_message_cost_is_constant_like(self, overlay, numpy_rng):
+        victims = numpy_rng.choice(overlay.object_ids(), size=30, replace=False)
+        for victim in victims:
+            overlay.remove(int(victim))
+        assert overlay.stats.leaves.mean_messages < 40
+
+    def test_view_consistency_detects_dangling_link(self, overlay):
+        # Manually corrupt a long link to point at a non-existent object.
+        oid = overlay.object_ids()[0]
+        overlay.node(oid).long_links[0].neighbor = 10_000
+        problems = view_consistency_report(overlay)
+        assert any("departed" in p or "points at" in p for p in problems)
+
+
+class TestAblations:
+    def test_without_back_links_departures_leave_dangling_links(self, numpy_rng):
+        overlay = VoroNet(VoroNetConfig(n_max=300, seed=23,
+                                        maintain_back_links=False))
+        ids = [overlay.insert(tuple(p)) for p in numpy_rng.random((120, 2))]
+        # Remove a third of the objects; without BLRn nothing re-points links.
+        for victim in numpy_rng.choice(ids, size=40, replace=False):
+            overlay.remove(int(victim))
+        dangling = 0
+        for oid in overlay.object_ids():
+            for link in overlay.node(oid).long_links:
+                if link.neighbor not in overlay:
+                    dangling += 1
+        assert dangling > 0

@@ -1,0 +1,93 @@
+"""Unit tests for neighbour views and close-neighbour discovery (Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.neighbors import (
+    NeighborView,
+    brute_force_close_neighbors,
+    compute_close_neighbors,
+)
+from repro.geometry.point import distance
+
+
+class TestNeighborView:
+    def test_routing_neighbors_excludes_self_and_back_links(self):
+        view = NeighborView(
+            object_id=1,
+            voronoi=frozenset({1, 2, 3}),
+            close=frozenset({4}),
+            long_range=frozenset({5}),
+            back_long_range=frozenset({6}),
+        )
+        assert view.routing_neighbors == {2, 3, 4, 5}
+        assert 6 not in view.routing_neighbors
+
+    def test_all_neighbors_includes_back_links(self):
+        view = NeighborView(object_id=1, voronoi=frozenset({2}),
+                            back_long_range=frozenset({6}))
+        assert view.all_neighbors == {2, 6}
+
+    def test_size_counts_all_sets(self):
+        view = NeighborView(
+            object_id=1,
+            voronoi=frozenset({2, 3}),
+            close=frozenset({4}),
+            long_range=frozenset({5}),
+            back_long_range=frozenset({6, 7}),
+        )
+        assert view.size == 6
+
+    def test_empty_view(self):
+        view = NeighborView(object_id=9)
+        assert view.routing_neighbors == set()
+        assert view.size == 0
+
+
+class TestCloseNeighborDiscovery:
+    @pytest.fixture
+    def dense_overlay(self):
+        """An overlay whose d_min is large enough for plenty of close pairs."""
+        overlay = VoroNet(VoroNetConfig(n_max=40, seed=11))
+        rng = np.random.default_rng(11)
+        for p in rng.random((80, 2)):
+            # allow_overflow is off but n_max=40 < 80: use a dedicated config.
+            if len(overlay) >= 40:
+                break
+            overlay.insert(tuple(p))
+        return overlay
+
+    def test_discovery_matches_brute_force(self, dense_overlay):
+        positions = dense_overlay.positions()
+        d_min = dense_overlay.config.effective_d_min
+        for oid in dense_overlay.object_ids():
+            expected = brute_force_close_neighbors(positions, oid, d_min)
+            assert dense_overlay.node(oid).close_neighbors == expected
+
+    def test_compute_close_neighbors_lemma1(self, dense_overlay):
+        """Recomputing via the Lemma 1 procedure matches the brute force."""
+        positions = dense_overlay.positions()
+        d_min = dense_overlay.config.effective_d_min
+        for oid in dense_overlay.object_ids():
+            computed = compute_close_neighbors(dense_overlay, oid)
+            expected = brute_force_close_neighbors(positions, oid, d_min)
+            assert computed == expected
+
+    def test_symmetry(self, dense_overlay):
+        for oid in dense_overlay.object_ids():
+            for cn in dense_overlay.node(oid).close_neighbors:
+                assert oid in dense_overlay.node(cn).close_neighbors
+
+    def test_ablation_disables_close_neighbors(self):
+        overlay = VoroNet(VoroNetConfig(n_max=40, seed=3,
+                                        maintain_close_neighbors=False))
+        rng = np.random.default_rng(3)
+        for p in rng.random((40, 2)):
+            overlay.insert(tuple(p))
+        assert all(not overlay.node(oid).close_neighbors
+                   for oid in overlay.object_ids())
+
+    def test_brute_force_excludes_self(self):
+        positions = {0: (0.5, 0.5), 1: (0.50001, 0.5)}
+        assert brute_force_close_neighbors(positions, 0, 0.1) == {1}

@@ -1,0 +1,218 @@
+"""Unit tests for the VoroNet overlay (join, leave, views, ownership)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.errors import (
+    DuplicateObjectError,
+    EmptyOverlayError,
+    ObjectNotFoundError,
+    OverlayFullError,
+)
+from repro.geometry.point import distance
+
+
+class TestInsertion:
+    def test_insert_returns_distinct_ids(self, tiny_overlay):
+        assert len(set(tiny_overlay.object_ids())) == 5
+
+    def test_insert_outside_unit_square_rejected(self):
+        overlay = VoroNet(n_max=10, seed=1)
+        with pytest.raises(ValueError):
+            overlay.insert((1.5, 0.5))
+
+    def test_insert_duplicate_position_rejected(self):
+        overlay = VoroNet(n_max=10, seed=1)
+        overlay.insert((0.5, 0.5))
+        with pytest.raises(DuplicateObjectError):
+            overlay.insert((0.5, 0.5))
+
+    def test_insert_duplicate_id_rejected(self):
+        overlay = VoroNet(n_max=10, seed=1)
+        overlay.insert((0.5, 0.5), object_id=3)
+        with pytest.raises(DuplicateObjectError):
+            overlay.insert((0.6, 0.6), object_id=3)
+
+    def test_insert_with_unknown_introducer_rejected(self):
+        overlay = VoroNet(n_max=10, seed=1)
+        overlay.insert((0.5, 0.5))
+        with pytest.raises(ObjectNotFoundError):
+            overlay.insert((0.6, 0.6), introducer=77)
+
+    def test_overlay_full(self):
+        overlay = VoroNet(VoroNetConfig(n_max=3, seed=1))
+        for p in [(0.1, 0.1), (0.6, 0.2), (0.4, 0.8)]:
+            overlay.insert(p)
+        with pytest.raises(OverlayFullError):
+            overlay.insert((0.5, 0.5))
+
+    def test_overflow_allowed_when_configured(self):
+        overlay = VoroNet(VoroNetConfig(n_max=2, allow_overflow=True, seed=1))
+        for p in [(0.1, 0.1), (0.6, 0.2), (0.4, 0.8)]:
+            overlay.insert(p)
+        assert len(overlay) == 3
+
+    def test_each_object_gets_configured_number_of_long_links(self):
+        overlay = VoroNet(VoroNetConfig(n_max=100, num_long_links=3, seed=2))
+        for p in np.random.default_rng(0).random((30, 2)):
+            overlay.insert(tuple(p))
+        for oid in overlay.object_ids():
+            assert len(overlay.node(oid).long_links) == 3
+
+    def test_join_counts_routing_hops(self, small_overlay):
+        assert small_overlay.stats.joins.count == 120
+        assert small_overlay.stats.joins.mean_hops > 0
+
+    def test_insert_many_returns_ids_in_order(self):
+        overlay = VoroNet(n_max=50, seed=3)
+        ids = overlay.insert_many([(0.1, 0.1), (0.5, 0.6), (0.9, 0.2)])
+        assert ids == [0, 1, 2]
+
+
+class TestRemoval:
+    def test_remove_unknown_raises(self, tiny_overlay):
+        with pytest.raises(ObjectNotFoundError):
+            tiny_overlay.remove(999)
+
+    def test_remove_shrinks_overlay(self, tiny_overlay):
+        victim = tiny_overlay.object_ids()[0]
+        tiny_overlay.remove(victim)
+        assert victim not in tiny_overlay
+        assert len(tiny_overlay) == 4
+
+    def test_remove_all_objects(self, tiny_overlay):
+        for oid in list(tiny_overlay.object_ids()):
+            tiny_overlay.remove(oid)
+        assert len(tiny_overlay) == 0
+
+    def test_consistency_after_random_churn(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for victim in numpy_rng.choice(ids, size=40, replace=False):
+            small_overlay.remove(int(victim))
+        assert small_overlay.check_consistency() == []
+
+    def test_long_links_redelegated_after_departure(self, small_overlay):
+        """After any node leaves, every remaining long link must point at the
+        current owner of its target point."""
+        victim = small_overlay.object_ids()[10]
+        small_overlay.remove(victim)
+        for oid in small_overlay.object_ids():
+            for link in small_overlay.node(oid).long_links:
+                assert link.neighbor != victim
+                assert small_overlay.owner_of(link.target) == link.neighbor
+
+
+class TestViews:
+    def test_voronoi_neighbors_symmetric(self, small_overlay):
+        for oid in small_overlay.object_ids()[:40]:
+            for nb in small_overlay.voronoi_neighbors(oid):
+                assert oid in small_overlay.voronoi_neighbors(nb)
+
+    def test_neighbor_view_contents(self, small_overlay):
+        oid = small_overlay.object_ids()[5]
+        view = small_overlay.neighbor_view(oid)
+        assert view.object_id == oid
+        assert set(view.voronoi) == set(small_overlay.voronoi_neighbors(oid))
+        assert oid not in view.routing_neighbors
+
+    def test_close_neighbors_within_d_min(self, numpy_rng):
+        config = VoroNetConfig(n_max=64, seed=5)  # large d_min for small n_max
+        overlay = VoroNet(config)
+        for p in numpy_rng.random((60, 2)):
+            overlay.insert(tuple(p))
+        d_min = config.effective_d_min
+        for oid in overlay.object_ids():
+            for cn in overlay.node(oid).close_neighbors:
+                assert distance(overlay.position_of(oid),
+                                overlay.position_of(cn)) <= d_min + 1e-12
+
+    def test_close_neighbors_complete(self, numpy_rng):
+        """Every pair of objects within d_min must know each other (Lemma 1)."""
+        config = VoroNetConfig(n_max=64, seed=5)
+        overlay = VoroNet(config)
+        positions = {}
+        for p in numpy_rng.random((60, 2)):
+            positions[overlay.insert(tuple(p))] = tuple(p)
+        d_min = config.effective_d_min
+        for a in positions:
+            for b in positions:
+                if a < b and distance(positions[a], positions[b]) <= d_min:
+                    assert b in overlay.node(a).close_neighbors
+                    assert a in overlay.node(b).close_neighbors
+
+    def test_degree_histogram_sums_to_size(self, small_overlay):
+        assert sum(small_overlay.degree_histogram().values()) == len(small_overlay)
+
+    def test_view_sizes_are_bounded(self, small_overlay):
+        sizes = small_overlay.view_sizes()
+        assert np.mean(list(sizes.values())) < 20  # O(1) in practice
+
+    def test_voronoi_cell_contains_site(self, small_overlay):
+        oid = small_overlay.object_ids()[7]
+        cell = small_overlay.voronoi_cell(oid)
+        assert cell.contains(small_overlay.position_of(oid))
+
+
+class TestOwnership:
+    def test_owner_of_matches_nearest(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for _ in range(50):
+            point = tuple(numpy_rng.random(2))
+            owner = small_overlay.owner_of(point)
+            nearest = min(ids, key=lambda i: distance(small_overlay.position_of(i), point))
+            assert distance(small_overlay.position_of(owner), point) == pytest.approx(
+                distance(small_overlay.position_of(nearest), point))
+
+    def test_owner_of_empty_overlay_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            VoroNet(n_max=4, seed=1).owner_of((0.5, 0.5))
+
+    def test_distance_to_region_zero_for_owner(self, small_overlay):
+        point = (0.42, 0.57)
+        owner = small_overlay.owner_of(point)
+        assert small_overlay.distance_to_region(owner, point) == 0.0
+
+    def test_distance_to_region_positive_for_non_owner(self, small_overlay):
+        point = (0.42, 0.57)
+        owner = small_overlay.owner_of(point)
+        far = max(small_overlay.object_ids(),
+                  key=lambda i: distance(small_overlay.position_of(i), point))
+        assert far != owner
+        assert small_overlay.distance_to_region(far, point) > 0.0
+
+
+class TestExportsAndStats:
+    def test_to_networkx_node_and_edge_kinds(self, small_overlay):
+        graph = small_overlay.to_networkx()
+        assert graph.number_of_nodes() == len(small_overlay)
+        kinds = {data["kind"] for _, _, data in graph.edges(data=True)}
+        assert "voronoi" in kinds and "long" in kinds
+
+    def test_stats_describe_lines(self, small_overlay):
+        lines = small_overlay.stats.describe()
+        assert len(lines) == 5
+
+    def test_random_object_id_is_member(self, small_overlay):
+        assert small_overlay.random_object_id() in small_overlay
+
+    def test_random_object_id_empty_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            VoroNet(n_max=4, seed=1).random_object_id()
+
+    def test_config_keyword_shortcuts(self):
+        overlay = VoroNet(n_max=77, num_long_links=2, seed=5)
+        assert overlay.config.n_max == 77
+        assert overlay.config.num_long_links == 2
+
+    def test_config_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            VoroNet(VoroNetConfig(), n_max=10)
+
+    def test_positions_mapping(self, tiny_overlay):
+        positions = tiny_overlay.positions()
+        assert len(positions) == 5
+        for oid, pos in positions.items():
+            assert tiny_overlay.position_of(oid) == pos

@@ -1,0 +1,83 @@
+"""Property-based tests for overlay invariants under arbitrary operation mixes."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.maintenance import view_consistency_report
+from repro.core.routing import route_to_object
+from repro.geometry.point import distance
+
+# Operations: True = join at a pseudo-random position, False = leave a random member.
+operations = st.lists(st.booleans(), min_size=4, max_size=60)
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def run_operations(ops, seed):
+    """Apply a join/leave sequence and return the overlay."""
+    rng = np.random.default_rng(seed)
+    overlay = VoroNet(VoroNetConfig(n_max=256, seed=seed))
+    alive = []
+    for is_join in ops:
+        if is_join or len(alive) <= 2:
+            oid = overlay.insert(tuple(rng.random(2)))
+            alive.append(oid)
+        else:
+            victim = alive.pop(int(rng.integers(len(alive))))
+            overlay.remove(victim)
+    return overlay, rng
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations, seeds)
+def test_views_stay_consistent_under_churn(ops, seed):
+    """All cross-object invariants hold after any join/leave sequence."""
+    overlay, _ = run_operations(ops, seed)
+    assert view_consistency_report(overlay) == []
+    assert overlay.check_consistency() == []
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations, seeds)
+def test_routing_always_reaches_destination(ops, seed):
+    """Greedy routing between any two live objects terminates at the destination."""
+    overlay, rng = run_operations(ops, seed)
+    ids = overlay.object_ids()
+    if len(ids) < 2:
+        return
+    for _ in range(5):
+        a, b = rng.choice(ids, size=2, replace=False)
+        result = route_to_object(overlay, int(a), int(b))
+        assert result.success
+        assert result.owner == int(b)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations, seeds)
+def test_ownership_matches_nearest_object(ops, seed):
+    """owner_of(p) is always the object closest to p."""
+    overlay, rng = run_operations(ops, seed)
+    ids = overlay.object_ids()
+    for _ in range(5):
+        point = tuple(rng.random(2))
+        owner = overlay.owner_of(point)
+        nearest = min(ids, key=lambda i: distance(overlay.position_of(i), point))
+        assert abs(distance(overlay.position_of(owner), point)
+                   - distance(overlay.position_of(nearest), point)) < 1e-12
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations, seeds)
+def test_voronoi_degree_structure(ops, seed):
+    """Degree histogram covers all objects and planarity bounds the mean degree."""
+    overlay, _ = run_operations(ops, seed)
+    histogram = overlay.degree_histogram()
+    assert sum(histogram.values()) == len(overlay)
+    if len(overlay) >= 4:
+        mean_degree = sum(k * v for k, v in histogram.items()) / len(overlay)
+        assert mean_degree < 6.0

@@ -1,0 +1,126 @@
+"""Unit tests for point, range, radius and segment queries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.errors import EmptyOverlayError
+from repro.core.queries import point_query, radius_query, range_query, segment_query
+from repro.geometry.bounding import BoundingBox
+from repro.geometry.point import distance
+
+
+@pytest.fixture
+def overlay(numpy_rng):
+    overlay = VoroNet(VoroNetConfig(n_max=500, seed=21))
+    for p in numpy_rng.random((250, 2)):
+        overlay.insert(tuple(p))
+    return overlay
+
+
+class TestPointQuery:
+    def test_owner_is_nearest_object(self, overlay, numpy_rng):
+        for _ in range(25):
+            point = tuple(numpy_rng.random(2))
+            result = point_query(overlay, point)
+            nearest = min(overlay.object_ids(),
+                          key=lambda i: distance(overlay.position_of(i), point))
+            assert distance(overlay.position_of(result.matches[0]), point) == \
+                pytest.approx(distance(overlay.position_of(nearest), point))
+
+    def test_single_match(self, overlay):
+        result = point_query(overlay, (0.5, 0.5))
+        assert len(result.matches) == 1
+
+    def test_empty_overlay_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            point_query(VoroNet(n_max=4, seed=1), (0.5, 0.5))
+
+
+class TestRangeQuery:
+    def test_matches_are_exactly_the_objects_in_the_box(self, overlay):
+        box = BoundingBox(0.25, 0.3, 0.55, 0.6)
+        result = range_query(overlay, box)
+        expected = sorted(oid for oid in overlay.object_ids()
+                          if box.contains(overlay.position_of(oid)))
+        assert result.matches == expected
+
+    def test_empty_box_returns_no_matches(self, overlay):
+        box = BoundingBox(0.5, 0.5, 0.5001, 0.5001)
+        result = range_query(overlay, box)
+        expected = sorted(oid for oid in overlay.object_ids()
+                          if box.contains(overlay.position_of(oid)))
+        assert result.matches == expected  # usually empty
+
+    def test_full_square_returns_everything(self, overlay):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        result = range_query(overlay, box)
+        assert result.matches == sorted(overlay.object_ids())
+
+    def test_visited_superset_of_matches(self, overlay):
+        box = BoundingBox(0.1, 0.1, 0.4, 0.3)
+        result = range_query(overlay, box)
+        assert set(result.matches) <= result.visited
+
+    def test_message_accounting(self, overlay):
+        box = BoundingBox(0.2, 0.2, 0.5, 0.5)
+        result = range_query(overlay, box)
+        assert result.total_messages == result.route.messages + result.spread_messages
+        assert result.spread_messages >= len(result.matches) - 1
+
+    def test_spread_cost_scales_with_answer_not_overlay(self, overlay):
+        small = range_query(overlay, BoundingBox(0.45, 0.45, 0.55, 0.55))
+        large = range_query(overlay, BoundingBox(0.1, 0.1, 0.9, 0.9))
+        assert small.spread_messages < large.spread_messages
+        assert small.spread_messages < len(overlay)
+
+    def test_one_attribute_range_as_degenerate_box(self, overlay):
+        """A range on attribute 0 only is a box spanning all of attribute 1."""
+        box = BoundingBox(0.3, 0.0, 0.4, 1.0)
+        result = range_query(overlay, box)
+        expected = sorted(oid for oid in overlay.object_ids()
+                          if 0.3 <= overlay.position_of(oid)[0] <= 0.4)
+        assert result.matches == expected
+
+
+class TestRadiusQuery:
+    def test_matches_are_exactly_the_objects_in_the_disk(self, overlay):
+        center, radius = (0.6, 0.4), 0.12
+        result = radius_query(overlay, center, radius)
+        expected = sorted(oid for oid in overlay.object_ids()
+                          if distance(overlay.position_of(oid), center) <= radius)
+        assert result.matches == expected
+
+    def test_zero_radius(self, overlay):
+        result = radius_query(overlay, (0.5, 0.5), 0.0)
+        assert result.matches == [] or len(result.matches) <= 1
+
+    def test_negative_radius_raises(self, overlay):
+        with pytest.raises(ValueError):
+            radius_query(overlay, (0.5, 0.5), -0.1)
+
+    def test_radius_covering_everything(self, overlay):
+        result = radius_query(overlay, (0.5, 0.5), 1.0)
+        assert result.matches == sorted(overlay.object_ids())
+
+
+class TestSegmentQuery:
+    def test_segment_owners_are_crossed_regions(self, overlay):
+        """Every object whose region contains a sample of the segment must be
+        among the matches."""
+        a, b = (0.1, 0.45), (0.9, 0.45)
+        result = segment_query(overlay, a, b)
+        for t in np.linspace(0.0, 1.0, 60):
+            sample = (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+            assert overlay.owner_of(sample) in result.matches
+
+    def test_short_segment_few_matches(self, overlay):
+        result = segment_query(overlay, (0.5, 0.5), (0.52, 0.5))
+        assert 1 <= len(result.matches) <= 12
+
+    def test_start_parameter_respected(self, overlay):
+        start = overlay.object_ids()[0]
+        result = segment_query(overlay, (0.2, 0.2), (0.3, 0.2), start=start)
+        assert result.route.source == start

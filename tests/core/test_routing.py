@@ -1,0 +1,168 @@
+"""Unit tests for greedy routing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.errors import EmptyOverlayError, ObjectNotFoundError
+from repro.core.routing import greedy_route, route_to_object, route_with_stopping_rule
+from repro.geometry.point import distance
+
+
+class TestGreedyRoute:
+    def test_route_to_own_position_is_zero_hops(self, small_overlay):
+        oid = small_overlay.object_ids()[3]
+        result = greedy_route(small_overlay, oid, small_overlay.position_of(oid))
+        assert result.hops == 0
+        assert result.owner == oid
+
+    def test_route_terminates_at_region_owner(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for _ in range(40):
+            source = int(numpy_rng.choice(ids))
+            target = tuple(numpy_rng.random(2))
+            result = greedy_route(small_overlay, source, target)
+            nearest = min(ids, key=lambda i: distance(small_overlay.position_of(i), target))
+            assert distance(small_overlay.position_of(result.owner), target) == \
+                pytest.approx(distance(small_overlay.position_of(nearest), target))
+
+    def test_route_between_all_pairs_small(self, tiny_overlay):
+        ids = tiny_overlay.object_ids()
+        for a in ids:
+            for b in ids:
+                if a == b:
+                    continue
+                result = route_to_object(tiny_overlay, a, b)
+                assert result.success and result.owner == b
+
+    def test_route_to_object_success_flag(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for _ in range(30):
+            a, b = numpy_rng.choice(ids, size=2, replace=False)
+            result = route_to_object(small_overlay, int(a), int(b))
+            assert result.success
+            assert result.owner == int(b)
+            assert result.final_distance == pytest.approx(0.0)
+
+    def test_empty_overlay_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            greedy_route(VoroNet(n_max=4, seed=1), 0, (0.5, 0.5))
+
+    def test_unknown_source_raises(self, tiny_overlay):
+        with pytest.raises(ObjectNotFoundError):
+            greedy_route(tiny_overlay, 999, (0.5, 0.5))
+
+    def test_unknown_destination_raises(self, tiny_overlay):
+        with pytest.raises(ObjectNotFoundError):
+            route_to_object(tiny_overlay, tiny_overlay.object_ids()[0], 999)
+
+    def test_path_recording_when_enabled(self, numpy_rng):
+        overlay = VoroNet(VoroNetConfig(n_max=200, seed=4, track_paths=True))
+        ids = [overlay.insert(tuple(p)) for p in numpy_rng.random((80, 2))]
+        result = route_to_object(overlay, ids[0], ids[-1])
+        assert result.path is not None
+        assert result.path[0] == ids[0]
+        assert result.path[-1] == ids[-1]
+        assert len(result.path) == result.hops + 1
+
+    def test_path_not_recorded_by_default(self, small_overlay):
+        ids = small_overlay.object_ids()
+        result = route_to_object(small_overlay, ids[0], ids[1])
+        assert result.path is None
+
+    def test_path_strictly_approaches_target(self, numpy_rng):
+        overlay = VoroNet(VoroNetConfig(n_max=200, seed=4, track_paths=True))
+        ids = [overlay.insert(tuple(p)) for p in numpy_rng.random((100, 2))]
+        target = overlay.position_of(ids[7])
+        result = greedy_route(overlay, ids[50], target)
+        distances = [distance(overlay.position_of(oid), target) for oid in result.path]
+        assert all(b < a for a, b in zip(distances, distances[1:]))
+
+    def test_messages_equal_hops(self, small_overlay):
+        ids = small_overlay.object_ids()
+        result = route_to_object(small_overlay, ids[0], ids[5])
+        assert result.messages == result.hops
+
+
+class TestLongLinkEffect:
+    def test_long_links_do_not_hurt_routing(self, numpy_rng):
+        """With long links enabled the mean hop count must not be worse than
+        the Delaunay-only routing on the same overlay."""
+        overlay = VoroNet(VoroNetConfig(n_max=600, seed=9))
+        ids = [overlay.insert(tuple(p)) for p in numpy_rng.random((400, 2))]
+        pairs = [tuple(numpy_rng.choice(ids, size=2, replace=False)) for _ in range(80)]
+        with_links = np.mean([
+            route_to_object(overlay, int(a), int(b)).hops for a, b in pairs])
+        without_links = np.mean([
+            route_to_object(overlay, int(a), int(b), use_long_links=False).hops
+            for a, b in pairs])
+        assert with_links <= without_links
+
+    def test_route_without_long_links_still_succeeds(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for _ in range(20):
+            a, b = numpy_rng.choice(ids, size=2, replace=False)
+            result = route_to_object(small_overlay, int(a), int(b), use_long_links=False)
+            assert result.success
+
+
+class TestStoppingRule:
+    def test_stopping_rule_lands_near_target(self, small_overlay, numpy_rng):
+        """Algorithm 5's weak termination: the final object's region is within
+        1/3 of the remaining distance, or within d_min of the target."""
+        ids = small_overlay.object_ids()
+        d_min = small_overlay.config.effective_d_min
+        for _ in range(20):
+            source = int(numpy_rng.choice(ids))
+            target = tuple(numpy_rng.random(2))
+            result = route_with_stopping_rule(small_overlay, source, target)
+            remaining = distance(small_overlay.position_of(result.owner), target)
+            region_distance = small_overlay.distance_to_region(result.owner, target)
+            assert (remaining <= d_min + 1e-12
+                    or region_distance <= remaining / 3.0 + 1e-12)
+
+    def test_stopping_rule_not_longer_than_full_greedy(self, small_overlay, numpy_rng):
+        ids = small_overlay.object_ids()
+        for _ in range(20):
+            source = int(numpy_rng.choice(ids))
+            target = tuple(numpy_rng.random(2))
+            early = route_with_stopping_rule(small_overlay, source, target)
+            full = greedy_route(small_overlay, source, target)
+            assert early.hops <= full.hops
+
+    def test_stopping_rule_empty_overlay_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            route_with_stopping_rule(VoroNet(n_max=4, seed=1), 0, (0.5, 0.5))
+
+    def test_stopping_rule_unknown_source_raises(self, tiny_overlay):
+        with pytest.raises(ObjectNotFoundError):
+            route_with_stopping_rule(tiny_overlay, 999, (0.5, 0.5))
+
+
+class TestOverlayRouteAPI:
+    def test_route_accepts_object_id(self, small_overlay):
+        ids = small_overlay.object_ids()
+        result = small_overlay.route(ids[0], ids[1])
+        assert result.owner == ids[1]
+
+    def test_route_accepts_point(self, small_overlay):
+        ids = small_overlay.object_ids()
+        result = small_overlay.route(ids[0], (0.3, 0.3))
+        assert result.owner in small_overlay
+
+    def test_route_updates_stats(self, small_overlay):
+        before = small_overlay.stats.routes.count
+        ids = small_overlay.object_ids()
+        small_overlay.route(ids[0], ids[1])
+        assert small_overlay.stats.routes.count == before + 1
+
+    def test_lookup_returns_owner(self, small_overlay):
+        point = (0.77, 0.22)
+        result = small_overlay.lookup(point)
+        assert result.owner == small_overlay.owner_of(point)
+
+    def test_lookup_empty_overlay_raises(self):
+        with pytest.raises(EmptyOverlayError):
+            VoroNet(n_max=4, seed=1).lookup((0.5, 0.5))

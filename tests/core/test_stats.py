@@ -1,0 +1,50 @@
+"""Unit tests for operation statistics."""
+
+import pytest
+
+from repro.core.stats import OperationStats, OverlayStats
+
+
+class TestOperationStats:
+    def test_empty_stats(self):
+        stats = OperationStats()
+        assert stats.count == 0
+        assert stats.mean_hops == 0.0
+        assert stats.mean_messages == 0.0
+
+    def test_record_accumulates(self):
+        stats = OperationStats()
+        stats.record(hops=3, messages=10)
+        stats.record(hops=5, messages=20)
+        assert stats.count == 2
+        assert stats.mean_hops == 4.0
+        assert stats.mean_messages == 15.0
+        assert stats.max_hops == 5
+        assert stats.max_messages == 20
+
+    def test_as_dict_keys(self):
+        stats = OperationStats()
+        stats.record(1, 2)
+        d = stats.as_dict()
+        assert set(d) == {"count", "mean_hops", "max_hops", "mean_messages",
+                          "max_messages"}
+
+
+class TestOverlayStats:
+    def test_groups_present(self):
+        stats = OverlayStats()
+        assert set(stats.as_dict()) == {
+            "joins", "leaves", "routes", "queries", "long_link_searches"}
+
+    def test_reset(self):
+        stats = OverlayStats()
+        stats.joins.record(3, 5)
+        stats.reset()
+        assert stats.joins.count == 0
+
+    def test_describe_is_human_readable(self):
+        stats = OverlayStats()
+        stats.routes.record(7, 7)
+        lines = stats.describe()
+        assert len(lines) == 5
+        assert any("routes" in line for line in lines)

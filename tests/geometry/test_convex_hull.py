@@ -1,0 +1,76 @@
+"""Unit tests for convex hulls."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.convex_hull import (
+    convex_hull,
+    hull_vertices_of,
+    point_in_convex_polygon,
+)
+from repro.geometry.predicates import orient2d
+
+
+class TestConvexHull:
+    def test_triangle_hull_is_itself(self):
+        points = [(0.0, 0.0), (1.0, 0.0), (0.5, 1.0)]
+        hull = convex_hull(points)
+        assert set(hull) == set(points)
+
+    def test_interior_points_excluded(self):
+        points = [(0, 0), (1, 0), (1, 1), (0, 1), (0.5, 0.5), (0.2, 0.7)]
+        hull = convex_hull(points)
+        assert set(hull) == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_hull_is_counterclockwise(self):
+        rng = np.random.default_rng(2)
+        points = [tuple(p) for p in rng.random((50, 2))]
+        hull = convex_hull(points)
+        for i in range(len(hull)):
+            a, b, c = hull[i], hull[(i + 1) % len(hull)], hull[(i + 2) % len(hull)]
+            assert orient2d(a, b, c) > 0
+
+    def test_collinear_points_collapse_to_extremes(self):
+        points = [(0.1 * i, 0.1 * i) for i in range(5)]
+        hull = convex_hull(points)
+        assert hull == [(0.0, 0.0), (0.4, 0.4)]
+
+    def test_duplicates_tolerated(self):
+        points = [(0, 0), (1, 0), (0.5, 1), (1, 0), (0, 0)]
+        assert len(convex_hull(points)) == 3
+
+    def test_two_points(self):
+        assert convex_hull([(0.3, 0.3), (0.8, 0.1)]) == [(0.3, 0.3), (0.8, 0.1)]
+
+    def test_all_points_inside_hull(self):
+        rng = np.random.default_rng(7)
+        points = [tuple(p) for p in rng.random((100, 2))]
+        hull = convex_hull(points)
+        for p in points:
+            assert point_in_convex_polygon(p, hull)
+
+
+class TestPointInConvexPolygon:
+    def test_inside_and_outside(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert point_in_convex_polygon((0.5, 0.5), square)
+        assert point_in_convex_polygon((0.0, 0.5), square)
+        assert not point_in_convex_polygon((1.5, 0.5), square)
+
+    def test_empty_polygon(self):
+        assert not point_in_convex_polygon((0.5, 0.5), [])
+
+    def test_single_point_polygon(self):
+        assert point_in_convex_polygon((0.5, 0.5), [(0.5, 0.5)])
+        assert not point_in_convex_polygon((0.4, 0.5), [(0.5, 0.5)])
+
+    def test_segment_polygon(self):
+        assert point_in_convex_polygon((0.5, 0.5), [(0, 0), (1, 1)])
+        assert not point_in_convex_polygon((0.5, 0.6), [(0, 0), (1, 1)])
+
+
+class TestHullVertexIndices:
+    def test_indices_match_hull(self):
+        points = [(0, 0), (1, 0), (0.5, 0.5), (1, 1), (0, 1)]
+        indices = hull_vertices_of(points)
+        assert sorted(indices) == [0, 1, 3, 4]

@@ -1,0 +1,95 @@
+"""Property-based tests (hypothesis) for the Delaunay kernel."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.point import distance_sq
+from repro.geometry.predicates import incircle, orient2d
+from repro.geometry.scipy_backend import compare_with_scipy
+
+# Coordinates drawn on a coarse grid of floats to exercise degeneracies
+# (collinear triples, cocircular quadruples) much more often than uniform
+# random floats would.
+coordinate = st.integers(min_value=0, max_value=40).map(lambda v: v / 40.0)
+point = st.tuples(coordinate, coordinate)
+point_sets = st.lists(point, min_size=1, max_size=40, unique=True)
+continuous_point = st.tuples(
+    st.floats(min_value=0.001, max_value=0.999, allow_nan=False),
+    st.floats(min_value=0.001, max_value=0.999, allow_nan=False),
+)
+continuous_sets = st.lists(continuous_point, min_size=4, max_size=40, unique=True)
+
+
+def build(points):
+    dt = DelaunayTriangulation()
+    for p in points:
+        dt.insert(p)
+    return dt
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_sets)
+def test_structure_is_always_valid(points):
+    """Every insertion sequence leaves a structurally valid triangulation."""
+    dt = build(points)
+    dt.validate()
+    assert len(dt) == len(points)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_sets)
+def test_empty_circumcircle_property(points):
+    """No vertex lies strictly inside the circumcircle of any triangle."""
+    dt = build(points)
+    all_points = {vid: dt.point(vid) for vid in dt.vertex_ids()}
+    for (u, v, w) in dt.triangles():
+        pu, pv, pw = all_points[u], all_points[v], all_points[w]
+        assert orient2d(pu, pv, pw) > 0
+        for other, point_other in all_points.items():
+            if other in (u, v, w):
+                continue
+            assert incircle(pu, pv, pw, point_other) <= 0
+
+
+@settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_sets)
+def test_adjacency_is_symmetric(points):
+    """u in neighbors(v) if and only if v in neighbors(u)."""
+    dt = build(points)
+    for vid in dt.vertex_ids():
+        for nb in dt.neighbors(vid):
+            assert vid in dt.neighbors(nb)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(continuous_sets)
+def test_matches_scipy_on_continuous_points(points):
+    """On generic (continuous) inputs our adjacency equals scipy's."""
+    dt = build(points)
+    assert compare_with_scipy(dt) == []
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(point_sets, st.randoms(use_true_random=False))
+def test_deletion_keeps_structure_valid(points, rnd):
+    """Deleting any subset in any order keeps the structure valid."""
+    dt = build(points)
+    ids = dt.vertex_ids()
+    rnd.shuffle(ids)
+    for victim in ids[: len(ids) // 2]:
+        dt.remove(victim)
+        dt.validate()
+    assert len(dt) == len(points) - len(ids[: len(ids) // 2])
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(continuous_sets, continuous_point)
+def test_nearest_vertex_is_truly_nearest(points, query):
+    """Greedy location always returns (one of) the closest vertices."""
+    dt = build(points)
+    reported = dt.nearest_vertex(query)
+    best = min(dt.vertex_ids(), key=lambda v: distance_sq(dt.point(v), query))
+    assert distance_sq(dt.point(reported), query) <= distance_sq(
+        dt.point(best), query) + 1e-15

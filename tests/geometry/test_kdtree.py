@@ -1,0 +1,86 @@
+"""Unit tests for the kd-tree nearest-neighbour oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.bounding import BoundingBox
+from repro.geometry.kdtree import KDTree
+from repro.geometry.point import distance
+
+
+@pytest.fixture
+def points():
+    return [tuple(p) for p in np.random.default_rng(1).random((200, 2))]
+
+
+@pytest.fixture
+def tree(points):
+    return KDTree(points)
+
+
+class TestNearest:
+    def test_nearest_matches_brute_force(self, tree, points):
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            query = tuple(rng.random(2))
+            reported = tree.nearest(query)
+            best = min(range(len(points)), key=lambda i: distance(points[i], query))
+            assert distance(points[reported], query) == pytest.approx(
+                distance(points[best], query))
+
+    def test_nearest_of_existing_point_is_itself(self, tree, points):
+        assert tree.nearest(points[17]) == 17
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(ValueError):
+            KDTree([]).nearest((0.5, 0.5))
+
+    def test_nearest_distance(self, tree, points):
+        query = (0.25, 0.75)
+        index = tree.nearest(query)
+        assert tree.nearest_distance(query) == pytest.approx(distance(points[index], query))
+
+    def test_len(self, tree, points):
+        assert len(tree) == len(points)
+
+
+class TestRadiusAndBox:
+    def test_query_radius_matches_brute_force(self, tree, points):
+        center, radius = (0.4, 0.6), 0.15
+        expected = sorted(i for i, p in enumerate(points)
+                          if distance(p, center) <= radius)
+        assert tree.query_radius(center, radius) == expected
+
+    def test_query_radius_zero(self, tree, points):
+        assert tree.query_radius(points[3], 0.0) == [3]
+
+    def test_query_radius_negative_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.query_radius((0.5, 0.5), -0.1)
+
+    def test_query_box_matches_brute_force(self, tree, points):
+        box = BoundingBox(0.2, 0.3, 0.5, 0.8)
+        expected = sorted(i for i, p in enumerate(points)
+                          if box.xmin <= p[0] <= box.xmax and box.ymin <= p[1] <= box.ymax)
+        assert tree.query_box(box) == expected
+
+    def test_query_box_empty_result(self, tree):
+        box = BoundingBox(2.0, 2.0, 3.0, 3.0)
+        assert tree.query_box(box) == []
+
+
+class TestKNearest:
+    def test_k_nearest_ordering(self, tree, points):
+        query = (0.5, 0.5)
+        ranked = tree.k_nearest(query, 10)
+        dists = [distance(points[i], query) for i in ranked]
+        assert dists == sorted(dists)
+
+    def test_k_nearest_zero(self, tree):
+        assert tree.k_nearest((0.5, 0.5), 0) == []
+
+    def test_k_nearest_more_than_size(self, points):
+        small = KDTree(points[:5])
+        assert len(small.k_nearest((0.5, 0.5), 50)) == 5

@@ -1,0 +1,67 @@
+"""Unit tests for the scipy cross-check backend."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.scipy_backend import (
+    adjacency_of,
+    build_reference_triangulation,
+    compare_with_scipy,
+    scipy_delaunay_adjacency,
+)
+
+
+class TestScipyAdjacency:
+    def test_triangle(self):
+        adjacency = scipy_delaunay_adjacency([(0, 0), (1, 0), (0.5, 1)])
+        assert adjacency == {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            scipy_delaunay_adjacency([(0, 0), (1, 1)])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            scipy_delaunay_adjacency(np.zeros((4, 3)))
+
+    def test_symmetry(self):
+        points = [tuple(p) for p in np.random.default_rng(0).random((50, 2))]
+        adjacency = scipy_delaunay_adjacency(points)
+        for node, neighbors in adjacency.items():
+            for nb in neighbors:
+                assert node in adjacency[nb]
+
+
+class TestComparison:
+    def test_compare_identical(self, triangulation):
+        assert compare_with_scipy(triangulation) == []
+
+    def test_adjacency_of_matches_neighbors(self, triangulation):
+        adjacency = adjacency_of(triangulation)
+        for vid in triangulation.vertex_ids()[:20]:
+            assert adjacency[vid] == set(triangulation.neighbors(vid))
+
+    def test_compare_small_triangulation_is_trivially_ok(self):
+        dt = DelaunayTriangulation([(0.1, 0.1), (0.9, 0.9)])
+        assert compare_with_scipy(dt) == []
+
+    def test_compare_detects_discrepancy(self, triangulation):
+        # Sabotage one node's adjacency by monkeypatching neighbors().
+        victim = triangulation.vertex_ids()[0]
+        original = triangulation.neighbors
+
+        def broken(vid):
+            result = original(vid)
+            if vid == victim and result:
+                return result[:-1]
+            return result
+
+        triangulation.neighbors = broken  # type: ignore[assignment]
+        problems = compare_with_scipy(triangulation)
+        assert problems and any(f"vertex {victim}" in p for p in problems)
+
+    def test_build_reference_triangulation(self, random_points):
+        dt = build_reference_triangulation(random_points[:50])
+        assert len(dt) == 50
+        dt.validate()

@@ -1,0 +1,98 @@
+"""Unit tests for Voronoi cell extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
+from repro.geometry.delaunay import DelaunayTriangulation
+from repro.geometry.point import distance
+from repro.geometry.voronoi import (
+    cell_of_point,
+    total_cell_area,
+    voronoi_cell,
+    voronoi_cells,
+)
+
+
+@pytest.fixture
+def five_site_triangulation():
+    dt = DelaunayTriangulation()
+    sites = [(0.2, 0.2), (0.8, 0.2), (0.5, 0.8), (0.5, 0.45), (0.25, 0.7)]
+    ids = [dt.insert(p) for p in sites]
+    return dt, ids, sites
+
+
+class TestSingleCell:
+    def test_interior_cell_is_bounded(self, five_site_triangulation):
+        dt, ids, _ = five_site_triangulation
+        cell = voronoi_cell(dt, ids[3])
+        assert cell.bounded
+        assert cell.area > 0
+
+    def test_hull_cell_is_unbounded(self, five_site_triangulation):
+        dt, ids, _ = five_site_triangulation
+        cell = voronoi_cell(dt, ids[0])
+        assert not cell.bounded
+        assert cell.area > 0
+
+    def test_cell_contains_its_site(self, five_site_triangulation):
+        dt, ids, sites = five_site_triangulation
+        for vid, site in zip(ids, sites):
+            cell = voronoi_cell(dt, vid)
+            assert cell.contains(site)
+
+    def test_cell_vertex_equidistance(self, five_site_triangulation):
+        """Interior cell polygon vertices are Voronoi vertices: equidistant to
+        the site and (at least) one neighbouring site, never closer to any
+        other site."""
+        dt, ids, sites = five_site_triangulation
+        cell = voronoi_cell(dt, ids[3], box=BoundingBox(-2, -2, 3, 3))
+        for corner in cell.polygon:
+            d_site = distance(corner, sites[3])
+            others = [distance(corner, s) for i, s in enumerate(sites) if i != 3]
+            assert min(others) >= d_site - 1e-9
+
+    def test_degenerate_triangulation_gives_empty_polygon(self):
+        dt = DelaunayTriangulation()
+        a = dt.insert((0.2, 0.2))
+        dt.insert((0.8, 0.8))
+        cell = voronoi_cell(dt, a)
+        assert cell.polygon == []
+        assert not cell.bounded
+
+
+class TestAllCells:
+    def test_cells_tile_the_unit_square(self, five_site_triangulation):
+        dt, _, _ = five_site_triangulation
+        cells = voronoi_cells(dt)
+        assert total_cell_area(cells) == pytest.approx(1.0, rel=1e-6)
+
+    def test_cells_tile_for_random_points(self):
+        rng = np.random.default_rng(8)
+        dt = DelaunayTriangulation()
+        for p in rng.random((80, 2)):
+            dt.insert(tuple(p))
+        cells = voronoi_cells(dt)
+        assert total_cell_area(cells) == pytest.approx(1.0, rel=1e-5)
+
+    def test_every_vertex_has_a_cell(self, five_site_triangulation):
+        dt, ids, _ = five_site_triangulation
+        cells = voronoi_cells(dt)
+        assert set(cells) == set(ids)
+
+    def test_cell_of_point_contains_point(self, five_site_triangulation):
+        dt, _, _ = five_site_triangulation
+        cell = cell_of_point(dt, (0.55, 0.5))
+        assert cell.contains((0.55, 0.5))
+
+    def test_cell_of_point_matches_nearest_site(self):
+        rng = np.random.default_rng(3)
+        dt = DelaunayTriangulation()
+        ids = [dt.insert(tuple(p)) for p in rng.random((60, 2))]
+        for _ in range(30):
+            query = tuple(rng.random(2))
+            cell = cell_of_point(dt, query)
+            nearest = min(ids, key=lambda v: distance(dt.point(v), query))
+            assert cell.vertex_id == nearest

@@ -1,0 +1,87 @@
+"""Tests of the experiment drivers (small scales — the benches run them full size)."""
+
+import pytest
+
+from repro.experiments.ablation_close_neighbors import format_ablation_close, run_ablation_close
+from repro.experiments.ablation_maintenance import format_maintenance, run_maintenance_experiment
+from repro.experiments.common import checkpoint_schedule, evaluation_distributions, scaled
+from repro.experiments.fig5_degree import format_fig5, run_fig5
+from repro.experiments.fig6_routes import format_fig6, run_fig6
+from repro.experiments.fig7_slope import format_fig7, run_fig7
+from repro.experiments.fig8_longlinks import format_fig8, run_fig8
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCommonHelpers:
+    def test_scaled_has_floor(self):
+        assert scaled(1000, 0.001) == 8
+        assert scaled(1000, 2.0) == 2000
+
+    def test_checkpoint_schedule(self):
+        schedule = checkpoint_schedule(600, 3)
+        assert schedule == [200, 400, 600]
+        with pytest.raises(ValueError):
+            checkpoint_schedule(100, 0)
+
+    def test_evaluation_distributions_names(self):
+        names = [d.name for d in evaluation_distributions()]
+        assert names == ["uniform", "powerlaw-a1", "powerlaw-a2", "powerlaw-a5"]
+
+
+class TestFigureDrivers:
+    def test_fig5_small_scale(self):
+        result = run_fig5(scale=0.05)
+        assert set(result.histograms) == {"uniform", "powerlaw-a1",
+                                          "powerlaw-a2", "powerlaw-a5"}
+        for summary in result.summaries.values():
+            assert summary.count == result.overlay_size
+        text = format_fig5(result)
+        assert "Figure 5" in text and "uniform" in text
+
+    def test_fig6_and_fig7_small_scale(self):
+        sweep = run_fig6(scale=0.05)
+        assert len(sweep.checkpoints) >= 3
+        for series in sweep.series.values():
+            assert len(series) == len(sweep.checkpoints)
+        assert "Figure 6" in format_fig6(sweep)
+        fit = run_fig7(sweep=sweep)
+        assert set(fit.fits) == set(sweep.series)
+        assert "slope" in format_fig7(fit)
+
+    def test_fig8_small_scale(self):
+        result = run_fig8(scale=0.05, link_counts=(1, 3, 6))
+        assert result.link_counts == [1, 3, 6]
+        for name in result.results:
+            assert len(result.mean_hops(name)) == 3
+        assert "Figure 8" in format_fig8(result)
+
+    def test_ablation_close_small_scale(self):
+        result = run_ablation_close(scale=0.05)
+        assert set(result.routing) == {"clustered", "powerlaw-a5"}
+        assert "ABL1" in format_ablation_close(result)
+
+    def test_maintenance_small_scale(self):
+        result = run_maintenance_experiment(scale=0.05)
+        assert len(result.sizes) == 4
+        assert all(result.join_messages[s] > 0 for s in result.sizes)
+        assert result.protocol_join_messages > 0
+        assert "ABL3" in format_maintenance(result)
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig5", "fig6", "fig7", "fig8",
+            "abl1-close", "abl2-baselines", "abl3-maintenance",
+        }
+
+    def test_cli_runs_one_experiment(self, capsys):
+        exit_code = main(["fig5", "--scale", "0.05"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "completed in" in output
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

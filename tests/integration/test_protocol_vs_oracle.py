@@ -1,0 +1,97 @@
+"""Cross-validation of the two execution modes.
+
+The oracle-mode overlay (:class:`repro.core.overlay.VoroNet`) and the
+message-level protocol simulator
+(:class:`repro.simulation.protocol.ProtocolSimulator`) implement the same
+protocol at two abstraction levels.  Feeding both the same object positions
+must produce the same neighbour *structure* (the Voronoi adjacency and
+close-neighbour sets are deterministic functions of the positions), and
+both must route to the same owners.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.geometry.point import distance
+from repro.simulation.protocol import ProtocolSimulator
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_objects
+
+
+@pytest.fixture(scope="module")
+def both_modes():
+    config = VoroNetConfig(n_max=300, seed=77)
+    positions = generate_objects(UniformDistribution(), 120, RandomSource(77))
+    oracle = VoroNet(config)
+    oracle_ids = [oracle.insert(p) for p in positions]
+    protocol = ProtocolSimulator(config, seed=77)
+    protocol_ids = [protocol.join(p).object_id for p in positions]
+    return oracle, oracle_ids, protocol, protocol_ids, positions
+
+
+class TestStructuralEquivalence:
+    def test_same_membership(self, both_modes):
+        oracle, oracle_ids, protocol, protocol_ids, _ = both_modes
+        assert len(oracle) == len(protocol)
+
+    def test_same_voronoi_adjacency(self, both_modes):
+        oracle, oracle_ids, protocol, protocol_ids, positions = both_modes
+        # Both assign ids in insertion order, so index i maps to the same object.
+        oracle_index = {oid: i for i, oid in enumerate(oracle_ids)}
+        protocol_index = {oid: i for i, oid in enumerate(protocol_ids)}
+        for i in range(len(positions)):
+            oracle_nb = {oracle_index[n]
+                         for n in oracle.voronoi_neighbors(oracle_ids[i])}
+            protocol_nb = {protocol_index[n]
+                           for n in protocol.kernel.neighbors(protocol_ids[i])}
+            assert oracle_nb == protocol_nb
+
+    def test_same_close_neighbor_sets(self, both_modes):
+        oracle, oracle_ids, protocol, protocol_ids, positions = both_modes
+        oracle_index = {oid: i for i, oid in enumerate(oracle_ids)}
+        protocol_index = {oid: i for i, oid in enumerate(protocol_ids)}
+        for i in range(len(positions)):
+            oracle_close = {oracle_index[n]
+                            for n in oracle.node(oracle_ids[i]).close_neighbors}
+            protocol_close = {protocol_index[n]
+                              for n in protocol.node(protocol_ids[i]).close}
+            assert oracle_close == protocol_close
+
+    def test_both_modes_internally_consistent(self, both_modes):
+        oracle, _, protocol, _, _ = both_modes
+        assert oracle.check_consistency() == []
+        assert protocol.verify_views() == []
+
+
+class TestBehaviouralEquivalence:
+    def test_same_lookup_owner(self, both_modes):
+        oracle, oracle_ids, protocol, protocol_ids, _ = both_modes
+        oracle_index = {oid: i for i, oid in enumerate(oracle_ids)}
+        protocol_index = {oid: i for i, oid in enumerate(protocol_ids)}
+        rng = RandomSource(5)
+        for _ in range(20):
+            point = rng.random_point()
+            oracle_owner = oracle_index[oracle.owner_of(point)]
+            protocol_owner = protocol_index[protocol.query(point).owner]
+            assert oracle_owner == protocol_owner
+
+    def test_comparable_maintenance_costs(self, both_modes):
+        """Join message costs of the two executions are the same order of
+        magnitude (both are routing + O(1))."""
+        oracle, _, protocol, _, _ = both_modes
+        oracle_mean = oracle.stats.joins.mean_messages
+        protocol_mean = protocol.metrics.histogram_summary("join_messages")["mean"]
+        assert protocol_mean < 6 * max(oracle_mean, 1.0)
+        assert oracle_mean < 6 * max(protocol_mean, 1.0)
+
+    def test_leaves_keep_modes_consistent(self, both_modes):
+        oracle, oracle_ids, protocol, protocol_ids, positions = both_modes
+        # Remove the same five objects (by insertion index) in both modes.
+        for index in (3, 17, 44, 80, 101):
+            oracle.remove(oracle_ids[index])
+            protocol.leave(protocol_ids[index])
+        assert oracle.check_consistency() == []
+        assert protocol.verify_views() == []
+        assert len(oracle) == len(protocol)

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        engine = SimulationEngine()
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, lambda l=label: fired.append(l))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(5.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: engine.schedule(1.0, lambda: fired.append("inner")))
+        engine.run()
+        assert fired == ["inner"]
+        assert engine.now == 2.0
+
+
+class TestExecution:
+    def test_now_advances_to_event_time(self):
+        engine = SimulationEngine()
+        engine.schedule(4.5, lambda: None)
+        engine.run()
+        assert engine.now == 4.5
+
+    def test_step_returns_false_when_empty(self):
+        assert SimulationEngine().step() is False
+
+    def test_run_returns_event_count(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run() == 5
+        assert engine.processed_events == 5
+
+    def test_run_with_max_events(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        assert engine.run(max_events=4) == 4
+        assert engine.pending_events == 6
+
+    def test_run_until(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run_until(2.5)
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.5
+
+    def test_cancelled_event_does_not_fire(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_reset(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+        assert engine.processed_events == 0
+
+
+class TestEvent:
+    def test_ordering_by_time_then_sequence(self):
+        early = Event(time=1.0, sequence=5, action=lambda: None)
+        late = Event(time=2.0, sequence=1, action=lambda: None)
+        tie = Event(time=1.0, sequence=6, action=lambda: None)
+        assert early < late
+        assert early < tie
+
+    def test_fire_runs_action_unless_cancelled(self):
+        fired = []
+        event = Event(time=0.0, sequence=0, action=lambda: fired.append(1))
+        event.fire()
+        event.cancel()
+        event.fire()
+        assert fired == [1]

@@ -1,0 +1,103 @@
+"""Unit tests for churn scheduling and crash injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.failures import ChurnScheduler, CrashInjector
+from repro.utils.rng import RandomSource
+
+
+class TestChurnScheduler:
+    def test_invalid_rates(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            ChurnScheduler(engine, join=lambda p: None, leave=lambda: None,
+                           join_rate=0.0)
+
+    def test_churn_executes_joins_and_leaves(self):
+        engine = SimulationEngine()
+        overlay = VoroNet(VoroNetConfig(n_max=500, seed=1))
+        for p in np.random.default_rng(1).random((20, 2)):
+            overlay.insert(tuple(p))
+
+        def leave():
+            if len(overlay) > 4:
+                overlay.remove(overlay.random_object_id())
+
+        scheduler = ChurnScheduler(
+            engine,
+            join=lambda p: overlay.insert(p),
+            leave=leave,
+            join_rate=2.0, leave_rate=1.0,
+            rng=RandomSource(2),
+        )
+        scheduler.start(horizon=30.0)
+        engine.run()
+        assert scheduler.joins_executed > 0
+        assert scheduler.leaves_executed > 0
+        assert overlay.check_consistency() == []
+
+    def test_leave_rate_zero_schedules_no_leaves(self):
+        engine = SimulationEngine()
+        counter = {"joins": 0}
+        scheduler = ChurnScheduler(
+            engine, join=lambda p: counter.__setitem__("joins", counter["joins"] + 1),
+            leave=lambda: None, join_rate=1.0, leave_rate=0.0,
+            rng=RandomSource(3),
+        )
+        scheduler.start(horizon=10.0)
+        engine.run()
+        assert scheduler.leaves_executed == 0
+        assert counter["joins"] == scheduler.joins_executed
+
+
+class TestCrashInjector:
+    @pytest.fixture
+    def overlay(self, numpy_rng):
+        overlay = VoroNet(VoroNetConfig(n_max=300, seed=9))
+        for p in numpy_rng.random((120, 2)):
+            overlay.insert(tuple(p))
+        return overlay
+
+    def test_crash_removes_without_protocol(self, overlay):
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        before = len(overlay)
+        injector.crash_random(10)
+        assert len(overlay) == before - 10
+
+    def test_crashes_leave_dangling_state(self, overlay):
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        injector.crash_random(30)
+        report = injector.assess_damage()
+        assert report.crashed == 30
+        assert report.total_stale_entries > 0
+        assert report.affected_objects > 0
+
+    def test_graceful_leaves_cause_no_damage(self, overlay, numpy_rng):
+        """Contrast: the same number of graceful departures leaves no stale state."""
+        victims = numpy_rng.choice(overlay.object_ids(), size=30, replace=False)
+        for victim in victims:
+            overlay.remove(int(victim))
+        injector = CrashInjector(overlay)
+        report = injector.assess_damage()
+        assert report.total_stale_entries == 0
+
+    def test_repair_fixes_dangling_links(self, overlay):
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        injector.crash_random(25)
+        fixed = injector.repair()
+        assert fixed > 0
+        report = injector.assess_damage()
+        assert report.dangling_long_links == 0
+        assert report.stale_close_neighbors == 0
+
+    def test_routing_still_works_after_repair(self, overlay, numpy_rng):
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        injector.crash_random(25)
+        injector.repair()
+        ids = overlay.object_ids()
+        for _ in range(10):
+            a, b = numpy_rng.choice(ids, size=2, replace=False)
+            assert overlay.route(int(a), int(b)).success

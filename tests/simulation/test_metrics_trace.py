@@ -1,0 +1,79 @@
+"""Unit tests for the metrics registry and trace recorder."""
+
+import pytest
+
+from repro.simulation.metrics import MetricsRegistry
+from repro.simulation.trace import TraceRecorder
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("joins")
+        metrics.increment("joins", 2)
+        assert metrics.counter("joins") == 3
+        assert metrics.counter("unknown") == 0
+
+    def test_histograms(self):
+        metrics = MetricsRegistry()
+        for value in (1, 2, 3, 4, 100):
+            metrics.observe("messages", value)
+        summary = metrics.histogram_summary("messages")
+        assert summary["count"] == 5
+        assert summary["max"] == 100
+        assert summary["p50"] == 3
+
+    def test_unknown_histogram_summary(self):
+        summary = MetricsRegistry().histogram_summary("nope")
+        assert summary["count"] == 0
+
+    def test_histogram_values(self):
+        metrics = MetricsRegistry()
+        metrics.observe("x", 1.5)
+        assert metrics.histogram_values("x") == [1.5]
+        assert metrics.histogram_values("missing") == []
+
+    def test_as_dict_and_reset(self):
+        metrics = MetricsRegistry()
+        metrics.increment("a")
+        metrics.observe("b", 2)
+        data = metrics.as_dict()
+        assert data["counters"] == {"a": 1}
+        assert "b" in data["histograms"]
+        metrics.reset()
+        assert metrics.as_dict() == {"counters": {}, "histograms": {}}
+
+
+class TestTraceRecorder:
+    def test_records_and_filters(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send", sender=1)
+        trace.record(1.0, "send", sender=2)
+        trace.record(2.0, "recv", sender=2)
+        assert len(trace) == 3
+        assert trace.count("send") == 2
+        assert len(trace.records("send", predicate=lambda r: r.details["sender"] == 2)) == 1
+
+    def test_capacity_eviction(self):
+        trace = TraceRecorder(capacity=3)
+        for i in range(5):
+            trace.record(float(i), "tick")
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert [r.time for r in trace] == [2.0, 3.0, 4.0]
+
+    def test_disabled_recorder_drops_everything(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0.0, "tick")
+        assert len(trace) == 0
+        assert trace.dropped == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "tick")
+        trace.clear()
+        assert len(trace) == 0

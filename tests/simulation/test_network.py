@@ -1,0 +1,97 @@
+"""Unit tests for the message-passing network layer."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import (
+    ConstantLatency,
+    Message,
+    Network,
+    UniformLatency,
+)
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def engine():
+    return SimulationEngine()
+
+
+@pytest.fixture
+def network(engine):
+    return Network(engine, ConstantLatency(2.0))
+
+
+class TestDelivery:
+    def test_message_delivered_to_handler(self, engine, network):
+        received = []
+        network.register(1, received.append)
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        engine.run()
+        assert len(received) == 1
+        assert received[0].kind == "PING"
+
+    def test_delivery_respects_latency(self, engine, network):
+        times = []
+        network.register(1, lambda m: times.append(engine.now))
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        engine.run()
+        assert times == [2.0]
+
+    def test_unregistered_recipient_drops_message(self, engine, network):
+        network.send(Message(sender=0, recipient=9, kind="PING"))
+        engine.run()
+        assert network.messages_dropped == 1
+
+    def test_unregister_stops_delivery(self, engine, network):
+        received = []
+        network.register(1, received.append)
+        network.unregister(1)
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        engine.run()
+        assert received == []
+        assert not network.is_registered(1)
+
+    def test_self_messages_not_counted(self, engine, network):
+        received = []
+        network.register(1, received.append)
+        network.send(Message(sender=1, recipient=1, kind="LOCAL"))
+        engine.run()
+        assert len(received) == 1
+        assert network.messages_sent == 0
+
+    def test_counters_by_kind(self, engine, network):
+        network.register(1, lambda m: None)
+        network.send(Message(sender=0, recipient=1, kind="A"))
+        network.send(Message(sender=0, recipient=1, kind="A"))
+        network.send(Message(sender=0, recipient=1, kind="B"))
+        engine.run()
+        assert network.sent_by_kind == {"A": 2, "B": 1}
+        assert network.messages_sent == 3
+        assert network.messages_delivered == 3
+
+    def test_snapshot_counters(self, engine, network):
+        network.register(1, lambda m: None)
+        network.send(Message(sender=0, recipient=1, kind="A"))
+        engine.run()
+        snapshot = network.snapshot_counters()
+        assert snapshot["sent"] == 1
+        assert snapshot["kind:A"] == 1
+
+
+class TestLatencyModels:
+    def test_constant_latency_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_latency_within_bounds(self):
+        model = UniformLatency(1.0, 3.0, rng=RandomSource(1))
+        message = Message(sender=0, recipient=1, kind="X")
+        for _ in range(100):
+            assert 1.0 <= model.sample(message) <= 3.0
+
+    def test_uniform_latency_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(3.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)

@@ -1,0 +1,148 @@
+"""Unit and integration tests for the message-level VoroNet protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import VoroNetConfig
+from repro.geometry.point import distance
+from repro.simulation.protocol import ProtocolSimulator
+from repro.simulation.trace import TraceRecorder
+
+
+@pytest.fixture
+def simulator(numpy_rng):
+    sim = ProtocolSimulator(VoroNetConfig(n_max=300, seed=5), seed=5)
+    for p in numpy_rng.random((80, 2)):
+        sim.join(tuple(p))
+    return sim
+
+
+class TestJoins:
+    def test_first_join_costs_no_messages(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=16, seed=1), seed=1)
+        report = sim.join((0.5, 0.5))
+        assert report.messages == 0
+        assert report.routing_hops == 0
+
+    def test_joins_grow_membership(self, simulator):
+        assert len(simulator) == 80
+
+    def test_local_views_match_kernel(self, simulator):
+        assert simulator.verify_views() == []
+
+    def test_join_message_cost_is_local(self, simulator, numpy_rng):
+        """Joins cost routing + O(1) maintenance messages, far below overlay size."""
+        reports = [simulator.join(tuple(p)) for p in numpy_rng.random((20, 2))]
+        mean_messages = np.mean([r.messages for r in reports])
+        assert mean_messages < len(simulator) / 2
+
+    def test_join_with_explicit_introducer(self, simulator):
+        introducer = simulator.object_ids()[0]
+        report = simulator.join((0.123, 0.456), introducer=introducer)
+        assert report.object_id in simulator.object_ids()
+        assert simulator.verify_views() == []
+
+    def test_every_object_has_configured_long_links(self, simulator):
+        for oid in simulator.object_ids():
+            node = simulator.node(oid)
+            assert len(node.long_links) <= simulator.config.num_long_links
+        with_links = sum(1 for oid in simulator.object_ids()
+                         if len(simulator.node(oid).long_links) ==
+                         simulator.config.num_long_links)
+        assert with_links >= len(simulator) - 1  # the very first object has none
+
+    def test_close_neighbors_are_symmetric(self, simulator):
+        for oid in simulator.object_ids():
+            for close_id in simulator.node(oid).close:
+                assert oid in simulator.node(close_id).close
+
+
+class TestLeaves:
+    def test_leave_removes_object(self, simulator):
+        victim = simulator.object_ids()[10]
+        simulator.leave(victim)
+        assert victim not in simulator.object_ids()
+
+    def test_views_consistent_after_leaves(self, simulator, numpy_rng):
+        victims = numpy_rng.choice(simulator.object_ids(), size=25, replace=False)
+        for victim in victims:
+            simulator.leave(int(victim))
+        assert simulator.verify_views() == []
+
+    def test_leave_message_cost_is_constant_like(self, simulator, numpy_rng):
+        victims = numpy_rng.choice(simulator.object_ids(), size=20, replace=False)
+        reports = [simulator.leave(int(v)) for v in victims]
+        assert np.mean([r.messages for r in reports]) < 40
+
+    def test_leave_unknown_raises(self, simulator):
+        with pytest.raises(KeyError):
+            simulator.leave(10_000)
+
+    def test_long_links_survive_endpoint_departure(self, simulator):
+        """When a long-link endpoint leaves, the link is re-delegated to the
+        object now owning the target point."""
+        # Find an object that is the endpoint of someone's long link.
+        endpoint = None
+        for oid in simulator.object_ids():
+            if simulator.node(oid).back_links:
+                endpoint = oid
+                break
+        assert endpoint is not None
+        sources = [source for (source, _idx) in simulator.node(endpoint).back_links]
+        simulator.leave(endpoint)
+        for source in sources:
+            if source not in simulator.object_ids():
+                continue
+            for link in simulator.node(source).long_links:
+                assert link.neighbor != endpoint
+        assert simulator.verify_views() == []
+
+
+class TestQueries:
+    def test_query_reaches_true_owner(self, simulator, numpy_rng):
+        for _ in range(15):
+            target = tuple(numpy_rng.random(2))
+            report = simulator.query(target)
+            nearest = min(simulator.object_ids(),
+                          key=lambda i: distance(simulator.node(i).position, target))
+            assert distance(simulator.node(report.owner).position, target) == \
+                pytest.approx(distance(simulator.node(nearest).position, target))
+
+    def test_query_messages_include_answer(self, simulator):
+        report = simulator.query((0.3, 0.3))
+        assert report.messages >= report.routing_hops
+
+    def test_query_on_empty_simulator_raises(self):
+        with pytest.raises(RuntimeError):
+            ProtocolSimulator(seed=1).query((0.5, 0.5))
+
+    def test_query_with_explicit_start(self, simulator):
+        start = simulator.object_ids()[3]
+        report = simulator.query((0.9, 0.1), start=start)
+        assert report.owner in simulator.object_ids()
+
+
+class TestViewSizeAndTrace:
+    def test_mean_view_size_is_small(self, simulator):
+        assert simulator.mean_view_size() < 20
+
+    def test_mean_view_size_empty(self):
+        assert ProtocolSimulator(seed=1).mean_view_size() == 0.0
+
+    def test_trace_records_messages_when_enabled(self, numpy_rng):
+        trace = TraceRecorder(enabled=True)
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=2), seed=2, trace=trace)
+        for p in numpy_rng.random((10, 2)):
+            sim.join(tuple(p))
+        kinds = {r.details["message_kind"] for r in trace.records("send")}
+        assert "ADD_OBJECT" in kinds
+        assert "CREATE_OBJECT" in kinds
+
+    def test_duplicate_position_join_is_refused(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=3), seed=3)
+        sim.join((0.5, 0.5))
+        sim.join((0.25, 0.75))
+        sim.join((0.75, 0.25))
+        before = len(sim)
+        sim.join((0.5, 0.5))
+        assert len(sim) == before

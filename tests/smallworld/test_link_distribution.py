@@ -1,0 +1,86 @@
+"""Unit tests for small-world link-length distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.smallworld.link_distribution import (
+    grid_harmonic_weights,
+    radial_offset_pdf,
+    sample_grid_long_range_contact,
+    sample_radial_offset,
+)
+from repro.utils.rng import RandomSource
+
+
+class TestGridWeights:
+    def test_self_weight_is_zero(self):
+        weights = grid_harmonic_weights(8, (3, 3), exponent=2.0)
+        assert weights[3, 3] == 0.0
+
+    def test_weights_decay_with_distance(self):
+        weights = grid_harmonic_weights(16, (0, 0), exponent=2.0)
+        assert weights[0, 1] > weights[0, 5] > weights[0, 15]
+
+    def test_exponent_zero_is_uniform(self):
+        weights = grid_harmonic_weights(8, (4, 4), exponent=0.0)
+        nonzero = weights[weights > 0]
+        assert np.allclose(nonzero, nonzero[0])
+
+    def test_weight_value_matches_formula(self):
+        weights = grid_harmonic_weights(8, (2, 2), exponent=2.0)
+        assert weights[2, 5] == pytest.approx(3 ** -2.0)
+        assert weights[5, 6] == pytest.approx(7 ** -2.0)
+
+
+class TestGridSampling:
+    def test_contact_is_valid_grid_node(self):
+        rng = RandomSource(1)
+        for _ in range(50):
+            contact = sample_grid_long_range_contact(10, (5, 5), 2.0, rng)
+            assert 0 <= contact[0] < 10 and 0 <= contact[1] < 10
+            assert contact != (5, 5)
+
+    def test_near_contacts_more_likely(self):
+        rng = RandomSource(2)
+        near, far = 0, 0
+        for _ in range(800):
+            contact = sample_grid_long_range_contact(20, (10, 10), 2.0, rng)
+            d = abs(contact[0] - 10) + abs(contact[1] - 10)
+            if d <= 3:
+                near += 1
+            elif d >= 10:
+                far += 1
+        assert near > far
+
+    def test_tiny_grid_raises_when_no_candidate(self):
+        rng = RandomSource(3)
+        with pytest.raises(ValueError):
+            sample_grid_long_range_contact(1, (0, 0), 2.0, rng)
+
+
+class TestRadialOffset:
+    def test_offset_length_within_support(self):
+        rng = RandomSource(4)
+        for _ in range(300):
+            dx, dy = sample_radial_offset(0.01, 1.0, rng)
+            assert 0.01 - 1e-12 <= math.hypot(dx, dy) <= 1.0 + 1e-12
+
+    def test_invalid_bounds_raise(self):
+        rng = RandomSource(5)
+        with pytest.raises(ValueError):
+            sample_radial_offset(0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            sample_radial_offset(0.5, 0.4, rng)
+
+    def test_pdf_zero_outside_support(self):
+        assert radial_offset_pdf(0.001, 0.01, 1.0) == 0.0
+        assert radial_offset_pdf(1.5, 0.01, 1.0) == 0.0
+
+    def test_pdf_integrates_to_one_over_plane(self):
+        # Integrate the radial density over the annulus: ∫ pdf(r) 2πr dr = 1.
+        d_min, d_max = 0.01, 1.0
+        rs = np.linspace(d_min, d_max, 20000)
+        integrand = [radial_offset_pdf(r, d_min, d_max) * 2 * math.pi * r for r in rs]
+        assert np.trapezoid(integrand, rs) == pytest.approx(1.0, rel=1e-3)

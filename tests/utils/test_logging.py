@@ -1,0 +1,43 @@
+"""Unit tests for logging helpers."""
+
+import io
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("simulation").name == "repro.simulation"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_has_null_handler(self):
+        logger = get_logger("nullcheck")
+        assert any(isinstance(h, logging.NullHandler) for h in logger.handlers)
+
+
+class TestConfigureLogging:
+    def test_messages_reach_stream(self):
+        stream = io.StringIO()
+        configure_logging(level=logging.INFO, stream=stream)
+        get_logger("configured").info("hello world")
+        assert "hello world" in stream.getvalue()
+
+    def test_reconfiguration_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("configured").warning("only in second")
+        assert "only in second" not in first.getvalue()
+        assert "only in second" in second.getvalue()
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging(level=logging.WARNING, stream=stream)
+        get_logger("levels").info("quiet")
+        get_logger("levels").warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output

@@ -1,0 +1,69 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_unit_square,
+    check_positive,
+    check_probability,
+    ensure_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            check_positive(value, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_probabilities(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInUnitSquare:
+    def test_accepts_interior_point(self):
+        assert check_in_unit_square((0.3, 0.7)) == (0.3, 0.7)
+
+    def test_accepts_boundary(self):
+        assert check_in_unit_square((0.0, 1.0)) == (0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_unit_square((1.2, 0.5))
+
+    def test_tolerance_allows_overshoot(self):
+        assert check_in_unit_square((1.1, 0.5), tolerance=0.2) == (1.1, 0.5)
+
+    def test_rejects_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            check_in_unit_square((0.1, 0.2, 0.3))
+
+
+class TestEnsureType:
+    def test_accepts_matching_type(self):
+        assert ensure_type(3, int, "n") == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            ensure_type("3", int, "n")

@@ -1,0 +1,64 @@
+"""Unit tests for churn traces."""
+
+import pytest
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.utils.rng import RandomSource
+from repro.workloads.churn import ChurnEvent, generate_churn_trace, replay_churn
+
+
+class TestChurnEvent:
+    def test_join_requires_position(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(kind="join")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            ChurnEvent(kind="explode")
+
+    def test_leave_without_position(self):
+        assert ChurnEvent(kind="leave").position is None
+
+
+class TestTraceGeneration:
+    def test_event_count(self):
+        trace = generate_churn_trace(100, RandomSource(1))
+        assert len(trace) == 100
+        assert trace.join_count + trace.leave_count == 100
+
+    def test_warmup_is_all_joins(self):
+        trace = generate_churn_trace(50, RandomSource(2), warmup_joins=20)
+        assert all(e.kind == "join" for e in list(trace)[:20])
+
+    def test_leave_probability_zero_means_no_leaves(self):
+        trace = generate_churn_trace(60, RandomSource(3), leave_probability=0.0)
+        assert trace.leave_count == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            generate_churn_trace(5, RandomSource(4), warmup_joins=10)
+        with pytest.raises(ValueError):
+            generate_churn_trace(50, RandomSource(4), leave_probability=1.0)
+
+    def test_population_never_goes_negative(self):
+        trace = generate_churn_trace(200, RandomSource(5), leave_probability=0.49)
+        population = 0
+        for event in trace:
+            population += 1 if event.kind == "join" else -1
+            assert population >= 0
+
+
+class TestReplay:
+    def test_replay_keeps_overlay_consistent(self):
+        overlay = VoroNet(VoroNetConfig(n_max=400, seed=6))
+        trace = generate_churn_trace(150, RandomSource(6), leave_probability=0.35)
+        alive = replay_churn(overlay, trace, RandomSource(7))
+        assert len(alive) == len(overlay)
+        assert set(alive) == set(overlay.object_ids())
+        assert overlay.check_consistency() == []
+
+    def test_replay_returns_survivors(self):
+        overlay = VoroNet(VoroNetConfig(n_max=200, seed=8))
+        trace = generate_churn_trace(40, RandomSource(8), leave_probability=0.0)
+        alive = replay_churn(overlay, trace, RandomSource(9))
+        assert len(alive) == 40

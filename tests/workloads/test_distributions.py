@@ -1,0 +1,124 @@
+"""Unit tests for object-placement distributions."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import (
+    ClusteredDistribution,
+    GridDistribution,
+    PowerLawDistribution,
+    UniformDistribution,
+    distribution_by_name,
+    paper_distributions,
+)
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(31)
+
+
+def occupancy_counts(points, cells=8):
+    """Number of points falling in each cell of a cells×cells grid."""
+    array = np.asarray(points)
+    xi = np.minimum((array[:, 0] * cells).astype(int), cells - 1)
+    yi = np.minimum((array[:, 1] * cells).astype(int), cells - 1)
+    counts = np.zeros((cells, cells), dtype=int)
+    np.add.at(counts, (xi, yi), 1)
+    return counts.ravel()
+
+
+class TestUniform:
+    def test_samples_inside_unit_square(self, rng):
+        points = UniformDistribution().sample(500, rng)
+        assert all(0 < x < 1 and 0 < y < 1 for x, y in points)
+
+    def test_sample_count(self, rng):
+        assert len(UniformDistribution().sample(123, rng)) == 123
+
+    def test_roughly_even_occupancy(self, rng):
+        counts = occupancy_counts(UniformDistribution().sample(4000, rng))
+        assert counts.max() < 4 * max(counts.mean(), 1)
+
+
+class TestPowerLaw:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=0)
+        with pytest.raises(ValueError):
+            PowerLawDistribution(alpha=1, cells_per_axis=1)
+
+    def test_samples_inside_unit_square(self, rng):
+        points = PowerLawDistribution(alpha=2).sample(500, rng)
+        assert all(0 < x < 1 and 0 < y < 1 for x, y in points)
+
+    def test_name_includes_alpha(self):
+        assert PowerLawDistribution(alpha=5).name == "powerlaw-a5"
+
+    def test_higher_alpha_is_more_skewed(self, rng):
+        """The max-cell occupancy must grow with the skew exponent."""
+        low = occupancy_counts(PowerLawDistribution(alpha=1).sample(4000, RandomSource(1)))
+        high = occupancy_counts(PowerLawDistribution(alpha=5).sample(4000, RandomSource(1)))
+        assert high.max() > low.max()
+
+    def test_alpha5_concentrates_mass(self):
+        """With α=5 the most popular cells hold a large share of all objects."""
+        counts = occupancy_counts(
+            PowerLawDistribution(alpha=5).sample(4000, RandomSource(2)), cells=64)
+        counts = np.sort(counts)[::-1]
+        assert counts[:10].sum() > 0.5 * counts.sum()
+
+    def test_more_skewed_than_uniform(self):
+        uniform = occupancy_counts(UniformDistribution().sample(4000, RandomSource(3)))
+        skewed = occupancy_counts(PowerLawDistribution(alpha=2).sample(4000, RandomSource(3)))
+        assert skewed.std() > uniform.std()
+
+
+class TestOtherFamilies:
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredDistribution(num_clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredDistribution(spread=0)
+        with pytest.raises(ValueError):
+            ClusteredDistribution(background_fraction=2.0)
+
+    def test_clustered_inside_unit_square(self, rng):
+        points = ClusteredDistribution().sample(500, rng)
+        assert all(0 < x < 1 and 0 < y < 1 for x, y in points)
+
+    def test_clustered_is_clustered(self):
+        counts = occupancy_counts(
+            ClusteredDistribution(num_clusters=3, spread=0.01).sample(2000, RandomSource(5)),
+            cells=16)
+        assert counts.max() > 10 * max(counts.mean(), 1)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            GridDistribution(jitter=-1)
+
+    def test_grid_sample_count_and_bounds(self, rng):
+        points = GridDistribution().sample(120, rng)
+        assert len(points) == 120
+        assert all(0 < x < 1 and 0 < y < 1 for x, y in points)
+
+
+class TestRegistry:
+    def test_paper_distributions_order(self):
+        names = [d.name for d in paper_distributions()]
+        assert names == ["uniform", "powerlaw-a1", "powerlaw-a2", "powerlaw-a5"]
+
+    def test_lookup_by_name(self):
+        assert distribution_by_name("uniform").name == "uniform"
+        assert distribution_by_name("powerlaw-a5").alpha == 5.0
+        assert distribution_by_name("clustered").name.startswith("clustered")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            distribution_by_name("nope")
+
+    def test_determinism_given_seed(self):
+        a = PowerLawDistribution(alpha=2).sample(50, RandomSource(7))
+        b = PowerLawDistribution(alpha=2).sample(50, RandomSource(7))
+        assert a == b
