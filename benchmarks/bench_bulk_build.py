@@ -1,0 +1,137 @@
+"""Benchmark BULK — bulk construction vs sequential routed joins.
+
+Measures how much faster :meth:`VoroNet.bulk_load` builds an overlay than
+``insert_many`` (N greedy-routed joins from random introducers, the paper's
+join protocol), and verifies the fast path produces the same structure:
+identical Voronoi adjacency, a clean ``check_consistency()`` report, and
+agreement with the scipy reference triangulation.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_bulk_build.py`` — the pytest-benchmark wrapper
+  used alongside the other benchmarks (workload scaled by
+  ``REPRO_BENCH_SCALE``);
+* ``python benchmarks/bench_bulk_build.py --objects 5000 --output
+  benchmarks/BENCH_bulk_build.json`` — the standalone runner that emits the
+  JSON bench record tracking the perf trajectory (exits non-zero when the
+  structural checks fail, so CI smoke runs catch regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.geometry.scipy_backend import adjacency_of, compare_with_scipy
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_position_array
+
+#: Overlay size of the canonical record (the acceptance-criterion scale).
+DEFAULT_OBJECTS = 5000
+DEFAULT_SEED = 4242
+
+
+def run_bulk_build(num_objects: int = DEFAULT_OBJECTS, seed: int = DEFAULT_SEED,
+                   num_long_links: int = 1) -> dict:
+    """Build the same overlay sequentially and in bulk; return the record."""
+    positions = generate_position_array(
+        UniformDistribution(), num_objects, RandomSource(seed))
+    config = VoroNetConfig(n_max=4 * num_objects,
+                           num_long_links=num_long_links, seed=seed)
+
+    started = time.perf_counter()
+    sequential = VoroNet(config)
+    sequential.insert_many([tuple(p) for p in positions])
+    seconds_sequential = time.perf_counter() - started
+
+    started = time.perf_counter()
+    bulk = VoroNet(config)
+    bulk.bulk_load(positions)
+    seconds_bulk = time.perf_counter() - started
+
+    problems = bulk.check_consistency()
+    scipy_mismatches = compare_with_scipy(bulk.triangulation)
+    adjacency_identical = (adjacency_of(sequential.triangulation)
+                           == adjacency_of(bulk.triangulation))
+    return {
+        "benchmark": "bulk_build",
+        "objects": num_objects,
+        "num_long_links": num_long_links,
+        "seed": seed,
+        "seconds_sequential": round(seconds_sequential, 4),
+        "seconds_bulk": round(seconds_bulk, 4),
+        "speedup": round(seconds_sequential / seconds_bulk, 2),
+        "consistency_problems": len(problems),
+        "scipy_adjacency_mismatches": len(scipy_mismatches),
+        "adjacency_identical_to_sequential": adjacency_identical,
+    }
+
+
+def format_bulk_build(record: dict) -> str:
+    """One-paragraph human rendering of a bench record."""
+    return (
+        f"Bulk build @ {record['objects']} objects "
+        f"(k={record['num_long_links']}): "
+        f"sequential {record['seconds_sequential']:.2f}s, "
+        f"bulk {record['seconds_bulk']:.2f}s — {record['speedup']:.1f}x; "
+        f"consistency problems: {record['consistency_problems']}, "
+        f"scipy mismatches: {record['scipy_adjacency_mismatches']}, "
+        f"adjacency identical: {record['adjacency_identical_to_sequential']}"
+    )
+
+
+def test_bulk_build_speedup(benchmark, bench_scale):
+    """Bulk construction beats sequential joins and matches their structure."""
+    from conftest import run_once
+
+    num_objects = max(1000, int(round(DEFAULT_OBJECTS * bench_scale)))
+    record = run_once(benchmark, run_bulk_build, num_objects=num_objects)
+    print()
+    print(format_bulk_build(record))
+    benchmark.extra_info.update(record)
+
+    assert record["consistency_problems"] == 0
+    assert record["scipy_adjacency_mismatches"] == 0
+    assert record["adjacency_identical_to_sequential"]
+    # The canonical 5000-object record shows >5x; leave headroom for small
+    # scales and noisy CI machines.
+    assert record["speedup"] >= 3.0
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python benchmarks/bench_bulk_build.py``."""
+    parser = argparse.ArgumentParser(
+        description="Benchmark VoroNet.bulk_load against sequential insert_many.")
+    parser.add_argument("--objects", type=int, default=DEFAULT_OBJECTS,
+                        help=f"overlay size (default {DEFAULT_OBJECTS})")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--long-links", type=int, default=1)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON bench record here")
+    args = parser.parse_args(argv)
+
+    record = run_bulk_build(num_objects=args.objects, seed=args.seed,
+                            num_long_links=args.long_links)
+    print(format_bulk_build(record))
+    if args.output is not None:
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"record written to {args.output}")
+    # Exit code reflects the *correctness* checks only: the speedup is a
+    # recorded measurement (noisy at tiny --objects), asserted against its
+    # threshold by the pytest-benchmark wrapper at controlled scale.
+    ok = (record["consistency_problems"] == 0
+          and record["scipy_adjacency_mismatches"] == 0
+          and record["adjacency_identical_to_sequential"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,6 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.overlay import VoroNet
-from repro.core.routing import route_to_object
 from repro.utils.rng import RandomSource
 from repro.workloads.generators import generate_routing_pairs
 
@@ -66,18 +65,17 @@ class RoutingSweepPoint:
 
 def measure_routing(overlay: VoroNet, num_pairs: int, rng: RandomSource, *,
                     use_long_links: bool = True) -> HopStatistics:
-    """Measure greedy-route lengths between random pairs of distinct objects."""
+    """Measure greedy-route lengths between random pairs of distinct objects.
+
+    Uses the overlay's batched :meth:`~repro.core.overlay.VoroNet.route_many`
+    API; per-pair results are identical to individual
+    :func:`~repro.core.routing.route_to_object` calls.
+    """
     ids = overlay.object_ids()
     pairs = generate_routing_pairs(ids, num_pairs, rng)
-    hops: List[int] = []
-    failures = 0
-    for source, destination in pairs:
-        result = route_to_object(overlay, source, destination,
-                                 use_long_links=use_long_links)
-        if result.success:
-            hops.append(result.hops)
-        else:
-            failures += 1
+    results = overlay.route_many(pairs, use_long_links=use_long_links)
+    hops: List[int] = [r.hops for r in results if r.success]
+    failures = sum(1 for r in results if not r.success)
     return HopStatistics.from_hops(hops, failures=failures)
 
 

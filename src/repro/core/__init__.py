@@ -14,7 +14,11 @@ from repro.core.errors import (
     RoutingError,
     VoroNetError,
 )
-from repro.core.long_range import choose_long_range_target, choose_long_range_targets
+from repro.core.long_range import (
+    choose_long_range_target,
+    choose_long_range_target_array,
+    choose_long_range_targets,
+)
 from repro.core.neighbors import NeighborView
 from repro.core.node import BackLink, LongLink, ObjectNode
 from repro.core.overlay import VoroNet
@@ -52,6 +56,7 @@ __all__ = [
     "route_with_stopping_rule",
     "choose_long_range_target",
     "choose_long_range_targets",
+    "choose_long_range_target_array",
     "QueryResult",
     "point_query",
     "range_query",

@@ -55,6 +55,14 @@ class VoroNetConfig:
     allow_overflow:
         Permit joining more than ``n_max`` objects (the routing bound then
         no longer applies; used by the dynamic-``N_max`` experiments).
+    use_locate_index:
+        Seed point location (``owner_of``) and the default entry points of
+        lookups and queries from the overlay's grid-bucket locate index
+        (:class:`~repro.geometry.locate_grid.LocateGrid`).  Results are
+        unaffected (the index only provides *hints*, and joins always route
+        from their introducer regardless); lookup/query hop counts shrink
+        because requests enter near their target.  Disable to model every
+        request entering the overlay at a uniformly random peer.
     track_paths:
         Record full routing paths in :class:`~repro.core.routing.RouteResult`
         objects (memory-heavier; useful for debugging and examples).
@@ -69,6 +77,7 @@ class VoroNetConfig:
     maintain_close_neighbors: bool = True
     maintain_back_links: bool = True
     allow_overflow: bool = False
+    use_locate_index: bool = True
     track_paths: bool = False
     seed: Optional[int] = None
 

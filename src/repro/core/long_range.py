@@ -29,6 +29,7 @@ from repro.utils.rng import RandomSource
 __all__ = [
     "choose_long_range_target",
     "choose_long_range_targets",
+    "choose_long_range_target_array",
     "link_length_density",
     "expected_link_count_in_disk",
 ]
@@ -83,6 +84,46 @@ def choose_long_range_targets(position: Point, d_min: float, count: int,
     xs = position[0] + radius * np.cos(theta)
     ys = position[1] + radius * np.sin(theta)
     return [(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def choose_long_range_target_array(positions: np.ndarray, d_min: float,
+                                   count: int, rng: RandomSource) -> np.ndarray:
+    """Draw ``count`` long-link targets for *every* position in one batch.
+
+    The fully vectorised form of Choose-LRT used by
+    :meth:`~repro.core.overlay.VoroNet.bulk_load`: all ``n × count`` draws
+    come from two :class:`numpy.random.Generator` calls instead of
+    ``2 n count`` scalar draws.  Each per-object, per-link draw follows the
+    same distribution as :func:`choose_long_range_target`.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of object coordinates.
+    d_min / count / rng:
+        As in :func:`choose_long_range_targets`.
+
+    Returns
+    -------
+    ``(n, count, 2)`` array of target points (possibly outside the unit
+    square, as in the scalar sampler).
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) positions, got shape {positions.shape}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if not 0.0 < d_min < _SQRT2:
+        raise ValueError(f"d_min must lie in (0, sqrt(2)), got {d_min}")
+    n = positions.shape[0]
+    if n == 0 or count == 0:
+        return np.empty((n, count, 2), dtype=np.float64)
+    generator = rng.generator
+    a = generator.uniform(math.log(d_min), math.log(_SQRT2), size=(n, count))
+    theta = generator.uniform(0.0, 2.0 * math.pi, size=(n, count))
+    radius = np.exp(a)
+    offsets = np.stack((radius * np.cos(theta), radius * np.sin(theta)), axis=-1)
+    return positions[:, None, :] + offsets
 
 
 def link_length_density(length: float, d_min: float) -> float:

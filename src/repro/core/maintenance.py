@@ -28,7 +28,7 @@ from repro.geometry.point import distance
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.overlay import VoroNet
 
-__all__ = ["integrate_new_object", "detach_object"]
+__all__ = ["integrate_new_object", "bulk_integrate_objects", "detach_object"]
 
 
 def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
@@ -76,6 +76,56 @@ def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
                                    back_link.target)
                 source = overlay.node(back_link.source)
                 source.retarget_long_link(back_link.link_index, object_id)
+                messages += 2  # hand-over to the new holder + notify the source
+    return messages
+
+
+def bulk_integrate_objects(overlay: "VoroNet", object_ids: List[int]) -> int:
+    """Attach a bulk-loaded batch: close neighbours and back-link hand-over.
+
+    The batch is already in the Delaunay kernel and the locate index when
+    this runs, so instead of per-object neighbourhood exploration:
+
+    * close neighbours come from exact grid radius queries (symmetric
+      registration; re-registering an existing pair is a set no-op), which
+      produces exactly the ``cn`` sets Lemma 1's routed discovery would;
+    * back-long-range registrations held by *pre-existing* objects are
+      re-checked against the updated tessellation and handed to the new
+      owner of their target point where ownership changed — the batched
+      equivalent of the per-join hand-over in :func:`integrate_new_object`.
+
+    Returns the number of messages the distributed protocol would exchange
+    for the close declarations and hand-overs.
+    """
+    messages = 0
+    new_ids = set(object_ids)
+    if overlay.config.maintain_close_neighbors:
+        d_min = overlay.config.effective_d_min
+        for object_id in object_ids:
+            node = overlay.node(object_id)
+            before = len(node.close_neighbors)
+            for candidate in overlay.objects_within(node.position, d_min):
+                if candidate == object_id:
+                    continue
+                node.add_close_neighbor(candidate)
+                overlay.node(candidate).add_close_neighbor(object_id)
+            messages += len(node.close_neighbors) - before
+    if overlay.config.maintain_back_links:
+        for object_id in overlay.object_ids():
+            if object_id in new_ids:
+                continue
+            holder = overlay.node(object_id)
+            if not holder.back_links:
+                continue
+            for back_link in list(holder.back_links):
+                owner = overlay.owner_of(back_link.target, hint=object_id)
+                if owner == object_id:
+                    continue
+                holder.remove_back_link(back_link.source, back_link.link_index)
+                overlay.node(owner).add_back_link(
+                    back_link.source, back_link.link_index, back_link.target)
+                overlay.node(back_link.source).retarget_long_link(
+                    back_link.link_index, owner)
                 messages += 2  # hand-over to the new holder + notify the source
     return messages
 

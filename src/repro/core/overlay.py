@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+import numbers
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.config import VoroNetConfig
 from repro.core.errors import (
@@ -37,15 +40,17 @@ from repro.core.errors import (
     ObjectNotFoundError,
     OverlayFullError,
 )
-from repro.core.long_range import choose_long_range_target
-from repro.core.maintenance import detach_object, integrate_new_object
+from repro.core.long_range import choose_long_range_target, choose_long_range_target_array
+from repro.core.maintenance import bulk_integrate_objects, detach_object, integrate_new_object
 from repro.core.neighbors import NeighborView
 from repro.core.node import ObjectNode
 from repro.core.routing import RouteResult, greedy_route, route_to_object
 from repro.core.stats import OverlayStats
 from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
 from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
+from repro.geometry.locate_grid import LocateGrid
 from repro.geometry.point import Point, distance
+from repro.geometry.predicates import point_in_polygon
 from repro.geometry.voronoi import VoronoiCell, voronoi_cell
 from repro.utils.rng import RandomSource
 
@@ -89,6 +94,7 @@ class VoroNet:
         self._config = config
         self._rng = RandomSource(config.seed)
         self._triangulation = DelaunayTriangulation()
+        self._locate_index = LocateGrid()
         self._nodes: Dict[int, ObjectNode] = {}
         self._next_id = 0
         self._join_counter = itertools.count()
@@ -116,6 +122,16 @@ class VoroNet:
     def triangulation(self) -> DelaunayTriangulation:
         """The shared Delaunay kernel (read-only use recommended)."""
         return self._triangulation
+
+    @property
+    def locate_index(self) -> LocateGrid:
+        """The grid-bucket locate index (read-only use recommended).
+
+        Always kept in sync with the membership; whether it *seeds* point
+        location and default entry points is governed by
+        :attr:`VoroNetConfig.use_locate_index`.
+        """
+        return self._locate_index
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -185,10 +201,37 @@ class VoroNet:
     # ownership / location
     # ------------------------------------------------------------------
     def owner_of(self, point: Point, hint: Optional[int] = None) -> int:
-        """The object whose Voronoi region contains ``point``."""
+        """The object whose Voronoi region contains ``point``.
+
+        When no ``hint`` is given and the locate index is enabled, the
+        kernel descent is seeded with a near-target vertex from the grid,
+        making the location effectively constant time.  The result is the
+        exact owner either way.
+        """
         if not self._nodes:
             raise EmptyOverlayError("the overlay holds no objects")
+        if hint is None and self._config.use_locate_index:
+            hint = self._locate_index.hint(point)
         return self._triangulation.nearest_vertex(point, hint=hint)
+
+    def query_entry_point(self, point: Point) -> int:
+        """The object a request targeting ``point`` enters the overlay at.
+
+        With the locate index enabled this is a nearby object (constant
+        expected routing work); otherwise a uniformly random one, modelling
+        a request arriving at an arbitrary peer as in the paper.
+        """
+        if not self._nodes:
+            raise EmptyOverlayError("the overlay holds no objects")
+        if self._config.use_locate_index:
+            hint = self._locate_index.hint(point)
+            if hint is not None:
+                return hint
+        return self._sample_object_id()
+
+    def objects_within(self, point: Point, radius: float) -> List[int]:
+        """Ids of every object within ``radius`` of ``point`` (exact, grid-backed)."""
+        return self._locate_index.within(point, radius)
 
     def distance_to_region(self, object_id: int, point: Point) -> float:
         """Distance from ``point`` to the Voronoi region of ``object_id``.
@@ -215,6 +258,7 @@ class VoroNet:
     # ------------------------------------------------------------------
     def insert(self, position: Point, object_id: Optional[int] = None, *,
                introducer: Optional[int] = None,
+               hinted: bool = False,
                host: Optional[str] = None) -> int:
         """Publish a new object at ``position`` and return its id.
 
@@ -224,6 +268,13 @@ class VoroNet:
         out the new region and hands over the relevant state; the new object
         then discovers its close neighbours and establishes its long-range
         links by routing to freshly drawn target points.
+
+        With ``hinted=True`` (and the locate index enabled) the default
+        introducer is taken from the locate index instead of drawn at
+        random, so the join's routing phase is O(1) expected hops.  The
+        resulting structure is identical — only the reported join routing
+        cost changes — but the default stays ``False`` so measured join
+        costs keep reflecting the paper's random-introducer protocol.
 
         Raises
         ------
@@ -243,14 +294,22 @@ class VoroNet:
             object_id = self._next_id
         elif object_id in self._nodes or object_id < 0:
             raise DuplicateObjectError(f"object id {object_id} is invalid or in use")
-        self._next_id = max(self._next_id, object_id + 1)
 
         route_hops = 0
         messages = 0
         if self._nodes:
-            start = introducer if introducer is not None else self._sample_object_id()
-            if start not in self._nodes:
-                raise ObjectNotFoundError(start)
+            if introducer is not None:
+                start = introducer
+                if start not in self._nodes:
+                    raise ObjectNotFoundError(start)
+            elif hinted:
+                start = self.query_entry_point(position)
+            else:
+                # Section 3.3's default: the join routes from a uniformly
+                # random introducer, so measured join costs reflect the
+                # paper's protocol.  Batch construction that does not need
+                # per-join costs should use bulk_load instead.
+                start = self._sample_object_id()
             route = greedy_route(self, start, position)
             route_hops = route.hops
             messages += route.messages
@@ -271,6 +330,10 @@ class VoroNet:
             join_order=next(self._join_counter),
         )
         self._nodes[object_id] = node
+        # Commit the id allocation only now that the node is published: a
+        # failed insert must never burn (and permanently skip) an auto id.
+        self._next_id = max(self._next_id, object_id + 1)
+        self._locate_index.insert(object_id, position)
         messages += integrate_new_object(self, object_id)
 
         # Long-range links: drawn and resolved by routing from the new object.
@@ -327,6 +390,7 @@ class VoroNet:
         messages = detach_object(self, object_id)
         self._triangulation.remove(object_id)
         del self._nodes[object_id]
+        self._locate_index.discard(object_id)
         self._stats.leaves.record(0, messages)
 
     # ------------------------------------------------------------------
@@ -334,9 +398,14 @@ class VoroNet:
     # ------------------------------------------------------------------
     def route(self, source: int, target: Union[int, Point], *,
               use_long_links: bool = True) -> RouteResult:
-        """Route a message from ``source`` to an object id or a point."""
-        if isinstance(target, (int,)) and not isinstance(target, bool):
-            result = route_to_object(self, source, target,
+        """Route a message from ``source`` to an object id or a point.
+
+        Any integral ``target`` — Python ``int`` or :class:`numbers.Integral`
+        subclass such as a numpy integer — is treated as an object id; a
+        length-2 sequence is treated as a point of the attribute space.
+        """
+        if isinstance(target, numbers.Integral) and not isinstance(target, bool):
+            result = route_to_object(self, source, int(target),
                                      use_long_links=use_long_links)
         else:
             result = greedy_route(self, source, target,  # type: ignore[arg-type]
@@ -347,23 +416,152 @@ class VoroNet:
     def lookup(self, point: Point, start: Optional[int] = None) -> RouteResult:
         """Find the object responsible for ``point`` by greedy routing.
 
-        ``start`` defaults to a random object, modelling a request entering
-        the overlay at an arbitrary peer.
+        ``start`` defaults to the locate-index entry point when the index is
+        enabled (constant expected hops), otherwise to a random object,
+        modelling a request entering the overlay at an arbitrary peer.  The
+        returned owner is exact in both cases.
         """
         if not self._nodes:
             raise EmptyOverlayError("the overlay holds no objects")
         if start is None:
-            start = self._sample_object_id()
+            start = self.query_entry_point(point)
         result = greedy_route(self, start, point)
         self._stats.queries.record(result.hops, result.messages)
         return result
+
+    def route_many(self, pairs: Iterable[Tuple[int, Union[int, Point]]], *,
+                   use_long_links: bool = True) -> List[RouteResult]:
+        """Route a batch of ``(source, target)`` messages.
+
+        The batched form used by the experiment runner for route-length
+        sweeps; results are identical to calling :meth:`route` per pair.
+        """
+        return [self.route(source, target, use_long_links=use_long_links)
+                for source, target in pairs]
+
+    def lookup_many(self, points: Iterable[Point],
+                    start: Optional[int] = None) -> List[RouteResult]:
+        """Resolve a batch of point lookups (see :meth:`lookup`)."""
+        return [self.lookup(point, start=start) for point in points]
 
     # ------------------------------------------------------------------
     # bulk helpers and exports
     # ------------------------------------------------------------------
     def insert_many(self, positions: Iterable[Point]) -> List[int]:
-        """Publish many objects in sequence; returns their ids in order."""
+        """Publish many objects in sequence; returns their ids in order.
+
+        Every object joins through the full routed protocol (random or
+        grid-hinted introducer, greedy route, routed long links).  For
+        building large overlays from a known batch of positions,
+        :meth:`bulk_load` produces the same structure orders of magnitude
+        faster.
+        """
         return [self.insert(position) for position in positions]
+
+    def bulk_load(self, positions: Iterable[Point]) -> List[int]:
+        """Publish a batch of objects through the bulk-construction fast path.
+
+        Instead of ``N`` independent routed joins, the batch is:
+
+        1. inserted into the Delaunay kernel in one spatially sorted pass
+           with last-insert hints (each insertion walks O(1) triangles),
+        2. attached as overlay nodes and indexed in the locate grid,
+        3. given its close neighbours by exact grid radius queries (no
+           per-object neighbourhood exploration),
+        4. given its long links from one vectorised Choose-LRT draw
+           (:func:`~repro.core.long_range.choose_long_range_target_array`),
+           each endpoint resolved by hinted kernel descent instead of a
+           greedy overlay route.
+
+        The resulting Voronoi adjacency and close-neighbour sets are
+        identical to sequential insertion of the same positions, and long
+        links follow the same distribution (drawn from the overlay's RNG in
+        a different order).  Loading into a non-empty overlay is supported:
+        back-long-range registrations whose target now falls closer to a
+        new object are handed over exactly as a routed join would.
+
+        Ids are assigned in input order and returned in input order.
+
+        Raises
+        ------
+        OverlayFullError
+            When the batch would exceed ``n_max`` and overflow is not
+            allowed (checked up front; nothing is inserted).
+        DuplicateObjectError
+            On a position duplicating an existing object or another batch
+            entry (checked up front; nothing is inserted).
+        """
+        batch: List[Point] = []
+        for position in positions:
+            point = (float(position[0]), float(position[1]))
+            if not UNIT_SQUARE.contains(point):
+                raise ValueError(f"object position {point} outside the unit square")
+            batch.append(point)
+        if not batch:
+            return []
+        if (len(self._nodes) + len(batch) > self._config.n_max
+                and not self._config.allow_overflow):
+            raise OverlayFullError(self._config.n_max)
+
+        ids = list(range(self._next_id, self._next_id + len(batch)))
+        try:
+            # bulk_insert validates the whole batch (against existing
+            # vertices and within itself) before mutating anything.
+            self._triangulation.bulk_insert(batch, vertex_ids=ids)
+        except DuplicatePointError as exc:
+            # exc.existing_vertex is a published object for a clash with the
+            # overlay and the first occurrence's prospective id for an
+            # in-batch duplicate.
+            raise DuplicateObjectError(
+                f"duplicate position {exc.point} "
+                f"(conflicts with object id {exc.existing_vertex})"
+            ) from exc
+        for object_id, point in zip(ids, batch):
+            self._nodes[object_id] = ObjectNode(
+                object_id=object_id,
+                position=point,
+                join_order=next(self._join_counter),
+            )
+        self._locate_index.bulk_insert(zip(ids, batch))
+        self._next_id = ids[-1] + 1
+
+        bulk_integrate_objects(self, ids)
+        self._establish_long_links_bulk(ids, batch)
+
+        # Join accounting: zero routing hops (the whole point of the fast
+        # path); messages are what the distributed attach would minimally
+        # cost — region updates, close declarations, link registrations.
+        degrees = self._triangulation.degree_map()
+        for object_id in ids:
+            node = self._nodes[object_id]
+            attach_messages = (
+                degrees[object_id]
+                + len(node.close_neighbors)
+                + len(node.long_links)
+            )
+            self._stats.joins.record(0, attach_messages)
+        return ids
+
+    def _establish_long_links_bulk(self, ids: Sequence[int],
+                                   batch: Sequence[Point]) -> None:
+        """Vectorised long-link establishment for a bulk-loaded batch."""
+        k = self._config.num_long_links
+        if k == 0 or not ids:
+            return
+        targets = choose_long_range_target_array(
+            np.asarray(batch, dtype=np.float64),
+            self._config.effective_d_min, k, self._rng)
+        locate = self._locate_index
+        nearest = self._triangulation.nearest_vertex
+        for i, object_id in enumerate(ids):
+            node = self._nodes[object_id]
+            for index in range(k):
+                target = (float(targets[i, index, 0]), float(targets[i, index, 1]))
+                endpoint = nearest(target, hint=locate.hint(target))
+                node.set_long_link(index, target, endpoint)
+                if self._config.maintain_back_links:
+                    self._nodes[endpoint].add_back_link(object_id, index, target)
+                self._stats.long_link_searches.record(0, 1)
 
     def random_object_id(self) -> int:
         """A uniformly random published object id."""
@@ -412,9 +610,16 @@ class VoroNet:
 
 
 def _distance_to_polygon(point: Point, polygon: Sequence[Point]) -> float:
-    """Distance from a point to a polygon (0 if inside)."""
-    inside = _point_in_polygon(point, polygon)
-    if inside:
+    """Distance from a point to a polygon (0 if inside or on the boundary).
+
+    Boundary inclusion matters: ``DistanceToRegion`` must report 0 for a
+    point the object owns, and points on a shared Voronoi edge are owned by
+    both incident objects.  A bare ray cast calls such points outside and
+    returns a small positive distance, perturbing the Algorithm-5 stopping
+    rule; :func:`repro.geometry.predicates.point_in_polygon` classifies
+    them exactly.
+    """
+    if point_in_polygon(point, polygon, include_boundary=True):
         return 0.0
     best = math.inf
     n = len(polygon)
@@ -436,17 +641,3 @@ def _distance_to_segment(point: Point, a: Point, b: Point) -> float:
     t = max(0.0, min(1.0, ((px - ax) * dx + (py - ay) * dy) / length_sq))
     cx, cy = ax + t * dx, ay + t * dy
     return math.hypot(px - cx, py - cy)
-
-
-def _point_in_polygon(point: Point, polygon: Sequence[Point]) -> bool:
-    x, y = point
-    inside = False
-    n = len(polygon)
-    for i in range(n):
-        x1, y1 = polygon[i]
-        x2, y2 = polygon[(i + 1) % n]
-        if (y1 > y) != (y2 > y):
-            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
-            if x < x_cross:
-                inside = not inside
-    return inside

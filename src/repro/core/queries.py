@@ -29,6 +29,7 @@ from repro.core.errors import EmptyOverlayError
 from repro.core.routing import RouteResult, greedy_route
 from repro.geometry.bounding import UNIT_SQUARE, BoundingBox, clip_polygon_to_box
 from repro.geometry.point import Point, distance
+from repro.geometry.predicates import point_in_polygon
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.overlay import VoroNet
@@ -163,7 +164,9 @@ def _route_to(overlay: "VoroNet", point: Point,
     if len(overlay) == 0:
         raise EmptyOverlayError("cannot query an empty overlay")
     if start is None:
-        start = overlay.random_object_id()
+        # Grid-hinted entry when the locate index is enabled, random peer
+        # otherwise — the same policy as VoroNet.lookup.
+        start = overlay.query_entry_point(point)
     return greedy_route(overlay, start, point)
 
 
@@ -196,7 +199,7 @@ def _polygon_intersects_disk(polygon: List[Point], center: Point,
                              radius: float) -> bool:
     if not polygon:
         return False
-    if _point_in_polygon(center, polygon):
+    if point_in_polygon(center, polygon, include_boundary=True):
         return True
     n = len(polygon)
     for i in range(n):
@@ -208,27 +211,14 @@ def _polygon_intersects_disk(polygon: List[Point], center: Point,
 def _polygon_intersects_segment(polygon: List[Point], a: Point, b: Point) -> bool:
     if not polygon:
         return False
-    if _point_in_polygon(a, polygon) or _point_in_polygon(b, polygon):
+    if point_in_polygon(a, polygon, include_boundary=True) or \
+            point_in_polygon(b, polygon, include_boundary=True):
         return True
     n = len(polygon)
     for i in range(n):
         if _segments_intersect(polygon[i], polygon[(i + 1) % n], a, b):
             return True
     return False
-
-
-def _point_in_polygon(point: Point, polygon: List[Point]) -> bool:
-    x, y = point
-    inside = False
-    n = len(polygon)
-    for i in range(n):
-        x1, y1 = polygon[i]
-        x2, y2 = polygon[(i + 1) % n]
-        if (y1 > y) != (y2 > y):
-            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
-            if x < x_cross:
-                inside = not inside
-    return inside
 
 
 def _segment_distance(a: Point, b: Point, point: Point) -> float:

@@ -56,8 +56,17 @@ def scaled(base: int, scale: float, minimum: int = 8) -> int:
 def build_overlay(distribution: ObjectDistribution, count: int, seed: int, *,
                   num_long_links: int = 1,
                   maintain_close_neighbors: bool = True,
-                  capacity: int | None = None) -> VoroNet:
-    """Build an overlay populated with ``count`` objects from a distribution."""
+                  capacity: int | None = None,
+                  bulk: bool = False) -> VoroNet:
+    """Build an overlay populated with ``count`` objects from a distribution.
+
+    With ``bulk=True`` the overlay is constructed through
+    :meth:`~repro.core.overlay.VoroNet.bulk_load` — identical Voronoi and
+    close-neighbour structure, long links drawn from the same distribution,
+    but without ``count`` routed joins.  Use it whenever the experiment
+    measures properties of the *final* overlay rather than the join process
+    itself.
+    """
     rng = RandomSource(seed)
     positions = generate_objects(distribution, count, rng)
     config = VoroNetConfig(
@@ -67,7 +76,10 @@ def build_overlay(distribution: ObjectDistribution, count: int, seed: int, *,
         seed=seed,
     )
     overlay = VoroNet(config)
-    overlay.insert_many(positions)
+    if bulk:
+        overlay.bulk_load(positions)
+    else:
+        overlay.insert_many(positions)
     return overlay
 
 

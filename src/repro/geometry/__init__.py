@@ -13,6 +13,8 @@ This package provides everything the overlay needs from geometry:
   clipped to the unit square,
 * :mod:`repro.geometry.convex_hull` — convex hulls used by tests and cell
   clipping,
+* :mod:`repro.geometry.locate_grid` — a grid-bucket index seeding point
+  location and greedy descent with near-target hints,
 * :mod:`repro.geometry.kdtree` — an exact nearest-neighbour oracle used as
   ground truth in tests and analysis,
 * :mod:`repro.geometry.scipy_backend` — a :mod:`scipy.spatial` based
@@ -32,9 +34,11 @@ from repro.geometry.predicates import (
     circumradius,
     incircle,
     orient2d,
+    point_in_polygon,
     point_in_triangle,
 )
 from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
+from repro.geometry.locate_grid import LocateGrid
 from repro.geometry.voronoi import VoronoiCell, voronoi_cell, voronoi_cells
 from repro.geometry.convex_hull import convex_hull
 from repro.geometry.kdtree import KDTree
@@ -52,8 +56,10 @@ __all__ = [
     "circumcenter",
     "circumradius",
     "point_in_triangle",
+    "point_in_polygon",
     "DelaunayTriangulation",
     "DuplicatePointError",
+    "LocateGrid",
     "VoronoiCell",
     "voronoi_cell",
     "voronoi_cells",

@@ -48,6 +48,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.geometry.point import Point, distance_sq
 from repro.geometry.predicates import incircle, orient2d, segment_contains
 
@@ -73,6 +75,34 @@ class DuplicatePointError(ValueError):
 
 class TriangulationCorruptionError(RuntimeError):
     """Raised by :meth:`DelaunayTriangulation.validate` on invariant violation."""
+
+
+def _morton_order(points: Sequence[Point]) -> List[int]:
+    """Indices of ``points`` sorted along a Morton (Z-order) curve.
+
+    Coordinates are normalised to the batch's bounding box and quantised to
+    a 1024-cell lattice per axis — enough locality for hinted insertion;
+    exactness is irrelevant because the order only affects speed.  The bit
+    interleaving runs vectorised over the whole batch.
+    """
+    if len(points) < 3:
+        return list(range(len(points)))
+    pts = np.asarray(points, dtype=np.float64)
+    mins = pts.min(axis=0)
+    spans = pts.max(axis=0) - mins
+    spans[spans == 0.0] = 1.0
+    quantized = ((pts - mins) / spans * 1023.0).astype(np.uint32)
+    qx = quantized[:, 0]
+    qy = quantized[:, 1]
+    codes = np.zeros(len(points), dtype=np.uint32)
+    for component, shift in ((qx, 0), (qy, 1)):
+        v = component & np.uint32(0xFFFF)
+        v = (v | (v << 8)) & np.uint32(0x00FF00FF)
+        v = (v | (v << 4)) & np.uint32(0x0F0F0F0F)
+        v = (v | (v << 2)) & np.uint32(0x33333333)
+        v = (v | (v << 1)) & np.uint32(0x55555555)
+        codes |= v << np.uint32(shift)
+    return [int(i) for i in np.argsort(codes, kind="stable")]
 
 
 def _normalize(u: int, v: int, w: int) -> Triangle:
@@ -144,6 +174,11 @@ class DelaunayTriangulation:
     def vertex_at(self, point: Point) -> Optional[int]:
         """The vertex with exactly these coordinates, if any."""
         return self._coord_index.get((float(point[0]), float(point[1])))
+
+    @property
+    def last_vertex(self) -> Optional[int]:
+        """The most recently inserted vertex (the default location hint)."""
+        return self._last_vertex
 
     # ------------------------------------------------------------------
     # triangle bookkeeping
@@ -319,6 +354,68 @@ class DelaunayTriangulation:
         self._last_vertex = vertex_id
         return vertex_id
 
+    def bulk_insert(self, points: Sequence[Point],
+                    vertex_ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Insert a batch of points in one spatially sorted pass.
+
+        The batch is validated up front (no partial mutation on duplicate
+        input), ordered along a Morton (Z-order) curve, and inserted with
+        the kernel's last-insert hint: consecutive points are spatial
+        neighbours, so every location walk starts next to its answer and
+        each insertion runs in effectively constant time.  The resulting
+        triangulation is identical to inserting the points in any other
+        order (the Delaunay triangulation is order-independent up to
+        cocircular degeneracies).
+
+        Parameters
+        ----------
+        points:
+            Batch of ``(x, y)`` coordinates.
+        vertex_ids:
+            Optional caller-chosen ids aligned with ``points`` (fresh,
+            non-negative, pairwise distinct); auto-assigned when omitted.
+
+        Returns
+        -------
+        The vertex ids in **input order** (not insertion order).
+        """
+        pts = [(float(p[0]), float(p[1])) for p in points]
+        if vertex_ids is None:
+            ids = list(range(self._next_id, self._next_id + len(pts)))
+        else:
+            ids = [int(v) for v in vertex_ids]
+            if len(ids) != len(pts):
+                raise ValueError("vertex_ids must align with points")
+            if len(set(ids)) != len(ids):
+                raise ValueError("vertex_ids must be pairwise distinct")
+            for vid in ids:
+                if vid < 0:
+                    raise ValueError("vertex ids must be non-negative")
+                if vid in self._points:
+                    raise ValueError(f"vertex id {vid} already in use")
+        first_index: Dict[Point, int] = {}
+        for index, p in enumerate(pts):
+            existing = self._coord_index.get(p)
+            if existing is not None:
+                raise DuplicatePointError(p, existing)
+            if p in first_index:
+                raise DuplicatePointError(p, ids[first_index[p]])
+            first_index[p] = index
+        for index in _morton_order(pts):
+            vid = ids[index]
+            if self._has_triangulation:
+                # Already validated above: bypass insert()'s re-checks and
+                # go straight to the hinted Bowyer–Watson step.
+                point = pts[index]
+                self._points[vid] = point
+                self._coord_index[point] = vid
+                self._next_id = max(self._next_id, vid + 1)
+                self._insert_into_triangulation(vid, hint=None)
+                self._last_vertex = vid
+            else:
+                self.insert(pts[index], vertex_id=vid)
+        return ids
+
     def _finite_triangle_at(self, vertex_id: int) -> Triangle:
         """Some finite triangle incident to ``vertex_id``."""
         edge = self._vertex_edge.get(vertex_id)
@@ -408,36 +505,55 @@ class DelaunayTriangulation:
         return incircle(self._points[u], self._points[v], self._points[w], point) > 0
 
     def _insert_into_triangulation(self, vertex_id: int, hint: Optional[int]) -> None:
+        # Bowyer–Watson with the cavity tracked as a set of *directed edges*
+        # (every directed edge belongs to exactly one triangle, so edge
+        # membership is triangle membership without normalising triples) and
+        # the boundary collected during the same breadth-first growth: an
+        # edge whose outer triangle fails the circumdisk test is a boundary
+        # edge.  This runs for every insertion, sequential or bulk — it is
+        # the dominant cost of bulk construction.
         point = self._points[vertex_id]
-        seed = self._walk_to_seed(point, hint)
-        cavity: Set[Triangle] = {_normalize(*seed)}
-        stack: List[Triangle] = [seed]
-        while stack:
-            u, v, w = stack.pop()
-            for a, b in ((u, v), (v, w), (w, u)):
-                neighbor_apex = self._apex.get((b, a))
-                if neighbor_apex is None:
-                    continue
-                neighbor = _normalize(b, a, neighbor_apex)
-                if neighbor in cavity:
-                    continue
-                if self._in_circumdisk(neighbor, point):
-                    cavity.add(neighbor)
-                    stack.append(neighbor)
-        # Boundary edges: edges of cavity triangles whose outer neighbour is
-        # not part of the cavity.  New triangles fan from them to the vertex.
+        apex = self._apex
+        points = self._points
+        u, v, w = self._walk_to_seed(point, hint)
+        cavity_edges: Set[DirectedEdge] = {(u, v), (v, w), (w, u)}
+        stack: List[DirectedEdge] = [(u, v), (v, w), (w, u)]
         boundary: List[DirectedEdge] = []
-        for tri in cavity:
-            u, v, w = tri
-            for a, b in ((u, v), (v, w), (w, u)):
-                neighbor_apex = self._apex.get((b, a))
-                if neighbor_apex is None:
-                    boundary.append((a, b))
-                    continue
-                if _normalize(b, a, neighbor_apex) not in cavity:
-                    boundary.append((a, b))
-        for tri in cavity:
-            self._remove_triangle(*tri)
+        while stack:
+            a, b = stack.pop()
+            if (b, a) in cavity_edges:
+                continue  # the outer triangle joined the cavity meanwhile
+            outer_apex = apex.get((b, a))
+            if outer_apex is None:
+                boundary.append((a, b))
+                continue
+            # Circumdisk test of the outer triangle (b, a, outer_apex),
+            # inlined from _in_circumdisk for this innermost loop; the rare
+            # case of an infinite *edge endpoint* (reached when the cavity
+            # already contains ghost triangles) keeps using the general
+            # rotation logic of _in_circumdisk.
+            if outer_apex == INFINITE_VERTEX:
+                pb, pa = points[b], points[a]
+                o = orient2d(pb, pa, point)
+                in_disk = o > 0 or (
+                    o == 0 and segment_contains(pb, pa, point, strict=True))
+            elif a == INFINITE_VERTEX or b == INFINITE_VERTEX:
+                in_disk = self._in_circumdisk((b, a, outer_apex), point)
+            else:
+                in_disk = incircle(points[b], points[a], points[outer_apex],
+                                   point) > 0
+            if in_disk:
+                e2 = (a, outer_apex)
+                e3 = (outer_apex, b)
+                cavity_edges.add((b, a))
+                cavity_edges.add(e2)
+                cavity_edges.add(e3)
+                stack.append(e2)
+                stack.append(e3)
+            else:
+                boundary.append((a, b))
+        for edge in cavity_edges:
+            del apex[edge]
         for a, b in boundary:
             self._add_triangle(a, b, vertex_id)
 
@@ -578,6 +694,22 @@ class DelaunayTriangulation:
     def degree(self, vertex_id: int) -> int:
         """Number of finite Delaunay neighbours of a vertex."""
         return len(self.neighbors(vertex_id))
+
+    def degree_map(self) -> Dict[int, int]:
+        """Degrees of *all* finite vertices in one pass over the edge map.
+
+        Equivalent to ``{vid: self.degree(vid) for vid in self.vertex_ids()}``
+        but linear in the number of edges instead of walking every vertex
+        star; used by bulk construction to account attach messages.
+        """
+        if not self._has_triangulation:
+            return {vid: len(self._degenerate_neighbors(vid))
+                    for vid in self._points}
+        degrees = {vid: 0 for vid in self._points}
+        for (u, v) in self._apex:
+            if u != INFINITE_VERTEX and v != INFINITE_VERTEX:
+                degrees[u] += 1
+        return degrees
 
     def is_hull_vertex(self, vertex_id: int) -> bool:
         """Whether the vertex lies on the convex hull of the point set."""

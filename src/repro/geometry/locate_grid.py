@@ -1,0 +1,198 @@
+"""Grid-bucket point-location index.
+
+Greedy descent on the Delaunay graph (:meth:`DelaunayTriangulation.nearest_vertex`)
+is correct from *any* starting vertex, but its cost is proportional to the
+graph distance between the start and the answer.  :class:`LocateGrid` keeps
+every vertex bucketed in a uniform grid over the unit square so a query can
+be seeded with a vertex from the bucket containing (or nearest to) the
+query point — after which the descent finishes in O(1) expected steps for
+well-distributed inputs.
+
+The grid is intentionally *approximate*: :meth:`LocateGrid.hint` returns a
+nearby vertex, not necessarily the nearest one, and the caller's exact
+search (kernel descent, greedy routing) remains the source of truth.  That
+makes staleness impossible to observe as long as membership is kept in
+sync, which the overlay does on every insert, remove and bulk load.
+
+The index also answers exact radius queries (:meth:`LocateGrid.within`),
+which the bulk-construction path uses to discover close neighbours without
+any per-object routing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.geometry.point import Point, distance, distance_sq
+
+__all__ = ["LocateGrid"]
+
+
+class LocateGrid:
+    """A uniform bucket grid over the unit square mapping cells to vertex ids.
+
+    Parameters
+    ----------
+    target_occupancy:
+        Desired mean number of vertices per occupied axis cell; the grid
+        resolution is adapted (with hysteresis) as vertices come and go so
+        each bucket holds roughly this many entries.
+
+    Examples
+    --------
+    >>> grid = LocateGrid()
+    >>> grid.insert(7, (0.25, 0.75))
+    >>> grid.hint((0.3, 0.8))
+    7
+    """
+
+    __slots__ = ("_target_occupancy", "_cells_per_axis", "_cells", "_points")
+
+    def __init__(self, target_occupancy: float = 2.0) -> None:
+        if target_occupancy <= 0.0:
+            raise ValueError(f"target_occupancy must be positive, got {target_occupancy}")
+        self._target_occupancy = float(target_occupancy)
+        self._cells_per_axis = 1
+        self._cells: Dict[Tuple[int, int], Set[int]] = {}
+        self._points: Dict[int, Point] = {}
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, vertex_id: int) -> bool:
+        return vertex_id in self._points
+
+    @property
+    def cells_per_axis(self) -> int:
+        """Current grid resolution (cells per axis)."""
+        return self._cells_per_axis
+
+    def _cell_of(self, point: Point) -> Tuple[int, int]:
+        m = self._cells_per_axis
+        x = min(max(point[0], 0.0), 1.0)
+        y = min(max(point[1], 0.0), 1.0)
+        return (min(m - 1, int(x * m)), min(m - 1, int(y * m)))
+
+    # ------------------------------------------------------------------
+    # membership maintenance
+    # ------------------------------------------------------------------
+    def insert(self, vertex_id: int, point: Point) -> None:
+        """Register a vertex at ``point`` (ids must be unique)."""
+        if vertex_id in self._points:
+            raise ValueError(f"vertex id {vertex_id} already indexed")
+        self._points[vertex_id] = (float(point[0]), float(point[1]))
+        self._cells.setdefault(self._cell_of(point), set()).add(vertex_id)
+        self._maybe_resize()
+
+    def discard(self, vertex_id: int) -> None:
+        """Forget a vertex (no error if absent)."""
+        point = self._points.pop(vertex_id, None)
+        if point is None:
+            return
+        cell = self._cell_of(point)
+        bucket = self._cells.get(cell)
+        if bucket is not None:
+            bucket.discard(vertex_id)
+            if not bucket:
+                del self._cells[cell]
+        self._maybe_resize()
+
+    def bulk_insert(self, items: Iterable[Tuple[int, Point]]) -> None:
+        """Register a batch of ``(vertex_id, point)`` pairs."""
+        for vertex_id, point in items:
+            self.insert(vertex_id, point)
+
+    def _maybe_resize(self) -> None:
+        n = max(len(self._points), 1)
+        desired = max(1, int(math.sqrt(n / self._target_occupancy)))
+        # 2x hysteresis keeps rebuilds amortised O(1) per membership change.
+        if desired > 2 * self._cells_per_axis or 2 * desired < self._cells_per_axis:
+            self._rebuild(desired)
+
+    def _rebuild(self, cells_per_axis: int) -> None:
+        self._cells_per_axis = cells_per_axis
+        self._cells = {}
+        for vertex_id, point in self._points.items():
+            self._cells.setdefault(self._cell_of(point), set()).add(vertex_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def hint(self, point: Point) -> Optional[int]:
+        """A vertex close to ``point``, or ``None`` when the index is empty.
+
+        The query point may lie outside the unit square (long-link targets
+        do); it is clamped before the bucket search.  The search scans
+        outward rings of cells and returns the best candidate from the
+        first non-empty ring — a near-nearest vertex, which is all a point
+        location seed needs.
+        """
+        if not self._points:
+            return None
+        point = (float(point[0]), float(point[1]))
+        m = self._cells_per_axis
+        cx, cy = self._cell_of(point)
+        for radius in range(m):
+            best = None
+            best_d = math.inf
+            for cell in self._ring(cx, cy, radius):
+                for vertex_id in self._cells.get(cell, ()):
+                    d = distance_sq(self._points[vertex_id], point)
+                    if d < best_d:
+                        best, best_d = vertex_id, d
+            if best is not None:
+                return best
+        return next(iter(self._points))  # pragma: no cover - defensive
+
+    def _ring(self, cx: int, cy: int, radius: int) -> Iterable[Tuple[int, int]]:
+        """Cells at Chebyshev distance ``radius`` from ``(cx, cy)``, in-grid."""
+        m = self._cells_per_axis
+        if radius == 0:
+            yield (cx, cy)
+            return
+        for ix in range(max(0, cx - radius), min(m, cx + radius + 1)):
+            for iy in (cy - radius, cy + radius):
+                if 0 <= iy < m:
+                    yield (ix, iy)
+        for iy in range(max(0, cy - radius + 1), min(m, cy + radius)):
+            for ix in (cx - radius, cx + radius):
+                if 0 <= ix < m:
+                    yield (ix, iy)
+
+    def within(self, point: Point, radius: float) -> List[int]:
+        """Ids of every indexed vertex within ``radius`` of ``point`` (exact).
+
+        Scans only the buckets overlapping the disk's bounding box, then
+        filters by exact Euclidean distance (``<= radius``, matching the
+        close-neighbour rule of the overlay).
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if not self._points:
+            return []
+        px, py = float(point[0]), float(point[1])
+        m = self._cells_per_axis
+        x0 = min(m - 1, max(0, int(min(max(px - radius, 0.0), 1.0) * m)))
+        x1 = min(m - 1, max(0, int(min(max(px + radius, 0.0), 1.0) * m)))
+        y0 = min(m - 1, max(0, int(min(max(py - radius, 0.0), 1.0) * m)))
+        y1 = min(m - 1, max(0, int(min(max(py + radius, 0.0), 1.0) * m)))
+        point = (px, py)
+        result: List[int] = []
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                for vertex_id in self._cells.get((ix, iy), ()):
+                    # math.hypot, not squared distance: exact parity with the
+                    # overlay's close-neighbour rule on knife-edge distances.
+                    if distance(self._points[vertex_id], point) <= radius:
+                        result.append(vertex_id)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LocateGrid(vertices={len(self._points)}, "
+            f"cells_per_axis={self._cells_per_axis})"
+        )

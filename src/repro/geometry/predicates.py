@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from enum import IntEnum
 from fractions import Fraction
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.geometry.point import Point
 
@@ -29,6 +29,7 @@ __all__ = [
     "circumcenter",
     "circumradius",
     "point_in_triangle",
+    "point_in_polygon",
     "collinear",
     "segment_contains",
     "triangle_area",
@@ -194,6 +195,39 @@ def point_in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
     has_neg = (o1 < 0) or (o2 < 0) or (o3 < 0)
     has_pos = (o1 > 0) or (o2 > 0) or (o3 > 0)
     return not (has_neg and has_pos)
+
+
+def point_in_polygon(point: Point, polygon: Sequence[Point], *,
+                     include_boundary: bool = True) -> bool:
+    """Whether ``point`` lies inside a simple polygon.
+
+    The interior test is the even-odd ray cast; points lying exactly on an
+    edge or vertex are classified by :func:`segment_contains`, so with
+    ``include_boundary=True`` (the default) an on-boundary point counts as
+    inside.  A bare ray cast misclassifies such points unpredictably, which
+    is exactly the failure mode that perturbed the overlay's
+    ``DistanceToRegion`` primitive for points on a Voronoi cell edge.
+    """
+    n = len(polygon)
+    if n == 0:
+        return False
+    for i in range(n):
+        a = polygon[i]
+        b = polygon[(i + 1) % n]
+        if point == a:
+            return include_boundary
+        if a != b and segment_contains(a, b, point, strict=False):
+            return include_boundary
+    x, y = point
+    inside = False
+    for i in range(n):
+        x1, y1 = polygon[i]
+        x2, y2 = polygon[(i + 1) % n]
+        if (y1 > y) != (y2 > y):
+            x_cross = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            if x < x_cross:
+                inside = not inside
+    return inside
 
 
 def segment_contains(a: Point, b: Point, p: Point, *, strict: bool = True) -> bool:

@@ -14,6 +14,7 @@ from repro.workloads.distributions import ObjectDistribution, UniformDistributio
 
 __all__ = [
     "generate_objects",
+    "generate_position_array",
     "generate_routing_pairs",
     "generate_query_workload",
     "RoutingPairs",
@@ -42,6 +43,19 @@ def generate_objects(distribution: ObjectDistribution, count: int,
                 seen.add(point)
                 unique.append(point)
     return unique[:count]
+
+
+def generate_position_array(distribution: ObjectDistribution, count: int,
+                            rng: RandomSource) -> np.ndarray:
+    """Draw ``count`` distinct object positions as an ``(n, 2)`` float array.
+
+    The array form feeds :meth:`~repro.core.overlay.VoroNet.bulk_load` and
+    other vectorised consumers without a round-trip through tuple lists;
+    the positions are exactly those of :func:`generate_objects` with the
+    same arguments.
+    """
+    return np.asarray(generate_objects(distribution, count, rng),
+                      dtype=np.float64)
 
 
 @dataclass(frozen=True)

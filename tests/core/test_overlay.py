@@ -71,6 +71,22 @@ class TestInsertion:
         ids = overlay.insert_many([(0.1, 0.1), (0.5, 0.6), (0.9, 0.2)])
         assert ids == [0, 1, 2]
 
+    def test_failed_insert_does_not_leak_auto_ids(self):
+        """Regression: a failed duplicate insert must not burn the next id."""
+        overlay = VoroNet(n_max=10, seed=1)
+        assert overlay.insert((0.5, 0.5)) == 0
+        with pytest.raises(DuplicateObjectError):
+            overlay.insert((0.5, 0.5))
+        assert overlay.insert((0.25, 0.75)) == 1
+
+    def test_failed_explicit_id_insert_does_not_advance_next_id(self):
+        overlay = VoroNet(n_max=10, seed=1)
+        overlay.insert((0.5, 0.5))
+        with pytest.raises(DuplicateObjectError):
+            overlay.insert((0.5, 0.5), object_id=7)
+        # The rejected id-7 insert never published, so auto ids continue at 1.
+        assert overlay.insert((0.25, 0.75)) == 1
+
 
 class TestRemoval:
     def test_remove_unknown_raises(self, tiny_overlay):
@@ -182,6 +198,34 @@ class TestOwnership:
                   key=lambda i: distance(small_overlay.position_of(i), point))
         assert far != owner
         assert small_overlay.distance_to_region(far, point) > 0.0
+
+    def test_distance_to_region_zero_on_shared_cell_boundary(self):
+        """Regression: an on-boundary point is owned by both incident cells.
+
+        Four objects on a symmetric grid give exactly representable cell
+        boundaries at x = 0.5 and y = 0.5; every point on them must report
+        distance 0 to both adjacent regions (the Algorithm-5 stopping rule
+        depends on it).
+        """
+        overlay = VoroNet(n_max=16, seed=1)
+        ids = overlay.bulk_load([(0.25, 0.25), (0.75, 0.25),
+                                 (0.25, 0.75), (0.75, 0.75)])
+        for point, owners in [((0.5, 0.25), (ids[0], ids[1])),
+                              ((0.5, 0.1), (ids[0], ids[1])),
+                              ((0.25, 0.5), (ids[0], ids[2])),
+                              ((0.5, 0.5), ids)]:
+            for oid in owners:
+                assert overlay.distance_to_region(oid, point) == 0.0
+
+    def test_distance_to_polygon_zero_on_boundary(self):
+        """Regression for the raw helper: boundary points are inside."""
+        from repro.core.overlay import _distance_to_polygon
+
+        square = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+        assert _distance_to_polygon((1.0, 0.5), square) == 0.0  # on an edge
+        assert _distance_to_polygon((0.5, 0.0), square) == 0.0  # bottom edge
+        assert _distance_to_polygon((0.0, 0.0), square) == 0.0  # vertex
+        assert _distance_to_polygon((1.2, 0.5), square) == pytest.approx(0.2)
 
 
 class TestExportsAndStats:

@@ -166,3 +166,25 @@ class TestOverlayRouteAPI:
     def test_lookup_empty_overlay_raises(self):
         with pytest.raises(EmptyOverlayError):
             VoroNet(n_max=4, seed=1).lookup((0.5, 0.5))
+
+    def test_route_accepts_numpy_integer_target(self, small_overlay):
+        """Regression: numpy integer ids must route as object ids, not points."""
+        ids = small_overlay.object_ids()
+        for target in (np.int64(ids[5]), np.int32(ids[5]),
+                       np.intp(ids[5]), np.uint16(ids[5])):
+            result = small_overlay.route(ids[0], target)
+            assert result.owner == ids[5]
+            assert result.success
+
+    def test_route_accepts_id_drawn_from_random_source(self, small_overlay, rng):
+        """Ids drawn via RandomSource.integers are numpy scalars, not ints."""
+        ids = small_overlay.object_ids()
+        target = rng.integers(0, len(ids), 1)[0]  # np.int64, a valid id here
+        assert not isinstance(target, int)
+        result = small_overlay.route(ids[0], target)
+        assert result.owner == int(target)
+
+    def test_route_rejects_bool_target_as_id(self, small_overlay):
+        """Booleans are Integral in Python; they must not be treated as ids."""
+        with pytest.raises(TypeError):
+            small_overlay.route(small_overlay.object_ids()[0], True)

@@ -304,3 +304,80 @@ class TestStressConfigurations:
         for vid in dt.vertex_ids():
             for nb in dt.neighbors(vid):
                 assert vid in dt.neighbors(nb)
+
+
+class TestBulkInsert:
+    def test_same_triangulation_as_sequential(self):
+        rng = np.random.default_rng(11)
+        points = [tuple(p) for p in rng.random((200, 2))]
+        sequential = DelaunayTriangulation()
+        for p in points:
+            sequential.insert(p)
+        bulk = DelaunayTriangulation()
+        ids = bulk.bulk_insert(points)
+        assert ids == list(range(200))
+        bulk.validate()
+        assert compare_with_scipy(bulk) == []
+        for vid in sequential.vertex_ids():
+            assert sorted(bulk.neighbors(vid)) == sorted(sequential.neighbors(vid))
+
+    def test_explicit_vertex_ids_follow_input_order(self):
+        bulk = DelaunayTriangulation()
+        ids = bulk.bulk_insert([(0.9, 0.9), (0.1, 0.1), (0.5, 0.2)],
+                               vertex_ids=[7, 3, 5])
+        assert ids == [7, 3, 5]
+        assert bulk.point(7) == (0.9, 0.9)
+        assert bulk.point(3) == (0.1, 0.1)
+
+    def test_bulk_into_existing_triangulation(self):
+        rng = np.random.default_rng(12)
+        dt = DelaunayTriangulation()
+        for p in rng.random((40, 2)):
+            dt.insert(tuple(p))
+        dt.bulk_insert([tuple(p) for p in rng.random((60, 2))])
+        dt.validate()
+        assert compare_with_scipy(dt) == []
+
+    def test_duplicate_in_batch_rejected_without_mutation(self):
+        dt = DelaunayTriangulation()
+        dt.insert((0.5, 0.5))
+        with pytest.raises(DuplicatePointError):
+            dt.bulk_insert([(0.1, 0.1), (0.5, 0.5)])
+        assert len(dt) == 1
+        with pytest.raises(DuplicatePointError):
+            dt.bulk_insert([(0.2, 0.2), (0.2, 0.2)])
+        assert len(dt) == 1
+
+    def test_mismatched_or_reused_ids_rejected(self):
+        dt = DelaunayTriangulation()
+        dt.insert((0.5, 0.5))  # takes id 0
+        with pytest.raises(ValueError):
+            dt.bulk_insert([(0.1, 0.1)], vertex_ids=[0])
+        with pytest.raises(ValueError):
+            dt.bulk_insert([(0.1, 0.1), (0.2, 0.2)], vertex_ids=[1])
+        with pytest.raises(ValueError):
+            dt.bulk_insert([(0.1, 0.1), (0.2, 0.2)], vertex_ids=[1, 1])
+
+    def test_degenerate_batches(self):
+        collinear_dt = DelaunayTriangulation()
+        collinear_dt.bulk_insert([(0.1, 0.1), (0.2, 0.2), (0.3, 0.3)])
+        assert not collinear_dt.has_triangulation
+        assert sorted(collinear_dt.neighbors(1)) == [0, 2]
+        tiny = DelaunayTriangulation()
+        assert tiny.bulk_insert([(0.4, 0.6)]) == [0]
+        assert tiny.bulk_insert([]) == []
+
+
+class TestDegreeMap:
+    def test_matches_per_vertex_degrees(self):
+        rng = np.random.default_rng(13)
+        dt = DelaunayTriangulation()
+        dt.bulk_insert([tuple(p) for p in rng.random((120, 2))])
+        degrees = dt.degree_map()
+        assert degrees == {vid: dt.degree(vid) for vid in dt.vertex_ids()}
+
+    def test_degenerate_point_set(self):
+        dt = DelaunayTriangulation()
+        dt.insert((0.1, 0.1))
+        dt.insert((0.2, 0.2))
+        assert dt.degree_map() == {0: 1, 1: 1}

@@ -1,7 +1,7 @@
 """Property-based tests (hypothesis) for the Delaunay kernel."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.delaunay import DelaunayTriangulation
@@ -68,6 +68,10 @@ def test_adjacency_is_symmetric(points):
 def test_matches_scipy_on_continuous_points(points):
     """On generic (continuous) inputs our adjacency equals scipy's."""
     dt = build(points)
+    # Hypothesis favours simple coordinates (0.5, 0.125, ...), so it can draw
+    # an entirely collinear set; neither kernel has a 2-D triangulation then
+    # (scipy refuses the input outright), so there is nothing to compare.
+    assume(dt.has_triangulation)
     assert compare_with_scipy(dt) == []
 
 

@@ -1,0 +1,132 @@
+"""Unit tests for the grid-bucket locate index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.kdtree import KDTree
+from repro.geometry.locate_grid import LocateGrid
+from repro.geometry.point import distance
+
+
+@pytest.fixture
+def populated_grid(numpy_rng):
+    grid = LocateGrid()
+    points = {i: tuple(p) for i, p in enumerate(numpy_rng.random((300, 2)))}
+    for vid, point in points.items():
+        grid.insert(vid, point)
+    return grid, points
+
+
+class TestMembership:
+    def test_empty_grid(self):
+        grid = LocateGrid()
+        assert len(grid) == 0
+        assert grid.hint((0.5, 0.5)) is None
+        assert grid.within((0.5, 0.5), 0.3) == []
+
+    def test_insert_and_contains(self):
+        grid = LocateGrid()
+        grid.insert(3, (0.1, 0.9))
+        assert 3 in grid and len(grid) == 1
+
+    def test_duplicate_id_rejected(self):
+        grid = LocateGrid()
+        grid.insert(1, (0.2, 0.2))
+        with pytest.raises(ValueError):
+            grid.insert(1, (0.8, 0.8))
+
+    def test_discard(self, populated_grid):
+        grid, points = populated_grid
+        grid.discard(17)
+        assert 17 not in grid
+        assert len(grid) == len(points) - 1
+        grid.discard(17)  # idempotent
+        assert len(grid) == len(points) - 1
+
+    def test_invalid_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            LocateGrid(target_occupancy=0.0)
+
+    def test_bulk_insert(self, numpy_rng):
+        grid = LocateGrid()
+        items = [(i, tuple(p)) for i, p in enumerate(numpy_rng.random((50, 2)))]
+        grid.bulk_insert(items)
+        assert len(grid) == 50
+        for vid, point in items:
+            assert grid.within(point, 0.0) == [vid]
+
+
+class TestHint:
+    def test_hint_is_a_member(self, populated_grid, numpy_rng):
+        grid, points = populated_grid
+        for _ in range(50):
+            hint = grid.hint(tuple(numpy_rng.random(2)))
+            assert hint in points
+
+    def test_hint_is_near_the_target(self, populated_grid, numpy_rng):
+        """The hint is within a couple of cell diagonals of the true nearest."""
+        grid, points = populated_grid
+        tree = KDTree(list(points.values()))
+        cell = 1.0 / grid.cells_per_axis
+        for _ in range(50):
+            query = tuple(numpy_rng.random(2))
+            hint = grid.hint(query)
+            nearest = tree.nearest(query)
+            slack = 3.0 * math.sqrt(2.0) * cell
+            assert distance(points[hint], query) <= \
+                distance(points[nearest], query) + slack
+
+    def test_hint_with_query_outside_unit_square(self, populated_grid):
+        grid, points = populated_grid
+        for query in [(-3.0, 0.5), (0.5, 7.0), (2.0, -2.0)]:
+            assert grid.hint(query) in points
+
+    def test_hint_survives_heavy_removal(self, populated_grid):
+        grid, points = populated_grid
+        survivors = sorted(points)[:5]
+        for vid in sorted(points)[5:]:
+            grid.discard(vid)
+        assert grid.hint((0.5, 0.5)) in survivors
+
+
+class TestWithin:
+    def test_matches_brute_force(self, populated_grid, numpy_rng):
+        grid, points = populated_grid
+        for radius in (0.01, 0.07, 0.25):
+            for _ in range(20):
+                query = tuple(numpy_rng.random(2))
+                expected = {vid for vid, p in points.items()
+                            if distance(p, query) <= radius}
+                assert set(grid.within(query, radius)) == expected
+
+    def test_zero_radius_finds_exact_point(self, populated_grid):
+        grid, points = populated_grid
+        vid = next(iter(points))
+        assert grid.within(points[vid], 0.0) == [vid]
+
+    def test_negative_radius_rejected(self, populated_grid):
+        grid, _ = populated_grid
+        with pytest.raises(ValueError):
+            grid.within((0.5, 0.5), -0.1)
+
+
+class TestResizing:
+    def test_resolution_grows_with_population(self, numpy_rng):
+        grid = LocateGrid()
+        for i, p in enumerate(numpy_rng.random((400, 2))):
+            grid.insert(i, tuple(p))
+        assert grid.cells_per_axis > 4
+        # Query correctness is preserved across every intermediate rebuild.
+        assert grid.hint((0.5, 0.5)) is not None
+
+    def test_resolution_shrinks_after_mass_departure(self, numpy_rng):
+        grid = LocateGrid()
+        for i, p in enumerate(numpy_rng.random((400, 2))):
+            grid.insert(i, tuple(p))
+        grown = grid.cells_per_axis
+        for i in range(395):
+            grid.discard(i)
+        assert grid.cells_per_axis < grown
+        assert len(grid) == 5

@@ -11,6 +11,7 @@ from repro.geometry.predicates import (
     collinear,
     incircle,
     orient2d,
+    point_in_polygon,
     point_in_triangle,
     segment_contains,
     triangle_area,
@@ -127,3 +128,35 @@ class TestContainmentHelpers:
     def test_collinear_helper(self):
         assert collinear((0, 0), (1, 2), (2, 4))
         assert not collinear((0, 0), (1, 2), (2, 4.001))
+
+
+class TestPointInPolygon:
+    SQUARE = [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]
+
+    def test_interior_and_exterior(self):
+        assert point_in_polygon((0.5, 0.5), self.SQUARE)
+        assert not point_in_polygon((1.5, 0.5), self.SQUARE)
+        assert not point_in_polygon((0.5, -0.1), self.SQUARE)
+
+    def test_boundary_points_are_inside_by_default(self):
+        """Regression: the bare ray cast called on-edge points outside."""
+        assert point_in_polygon((1.0, 0.5), self.SQUARE)   # right edge
+        assert point_in_polygon((0.5, 0.0), self.SQUARE)   # bottom edge
+        assert point_in_polygon((0.0, 0.25), self.SQUARE)  # left edge
+        assert point_in_polygon((0.0, 0.0), self.SQUARE)   # vertex
+        assert point_in_polygon((1.0, 1.0), self.SQUARE)   # vertex
+
+    def test_boundary_exclusion_opt_out(self):
+        assert not point_in_polygon((1.0, 0.5), self.SQUARE,
+                                    include_boundary=False)
+        assert point_in_polygon((0.5, 0.5), self.SQUARE,
+                                include_boundary=False)
+
+    def test_non_convex_polygon(self):
+        arrow = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (1.0, 0.5), (0.0, 2.0)]
+        assert point_in_polygon((0.2, 0.3), arrow)
+        assert not point_in_polygon((1.0, 1.5), arrow)  # inside the notch
+        assert point_in_polygon((1.0, 0.5), arrow)      # notch vertex
+
+    def test_empty_polygon(self):
+        assert not point_in_polygon((0.5, 0.5), [])
