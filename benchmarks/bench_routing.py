@@ -1,0 +1,160 @@
+"""Benchmark ROUTE — epoch-cached routing tables vs per-hop view assembly.
+
+Builds two structurally identical overlays (same seed, same bulk-loaded
+positions) differing only in ``use_routing_cache``, routes the same batch
+of random object pairs through both, verifies the answers are
+byte-identical (owners and hop counts), and reports the throughput ratio.
+The cached path serves every hop from the overlay's epoch-invalidated flat
+routing tables; the uncached path assembles a fresh ``NeighborView`` per
+hop, as the code did before the cache landed.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_routing.py`` — the pytest-benchmark wrapper
+  (workload scaled by ``REPRO_BENCH_SCALE``), asserting the canonical
+  ≥ 3x speedup at full scale;
+* ``python benchmarks/bench_routing.py --objects 5000 --output
+  benchmarks/BENCH_routing.json`` — the standalone runner emitting the
+  JSON bench record; exits non-zero when parity fails or the speedup
+  drops below ``--min-speedup`` (CI smoke runs use 1.0: cached must never
+  be slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # script mode: make src/ importable without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_position_array, generate_routing_pairs
+
+#: Overlay size of the canonical record (the acceptance-criterion scale).
+DEFAULT_OBJECTS = 5000
+DEFAULT_PAIRS = 2000
+DEFAULT_SEED = 4242
+
+
+def run_routing_bench(num_objects: int = DEFAULT_OBJECTS,
+                      num_pairs: int = DEFAULT_PAIRS,
+                      seed: int = DEFAULT_SEED,
+                      num_long_links: int = 1) -> dict:
+    """Route the same pair batch cached and uncached; return the record."""
+    positions = generate_position_array(
+        UniformDistribution(), num_objects, RandomSource(seed))
+
+    cold = {}
+    steady = {}
+    answers = {}
+    for use_cache in (True, False):
+        config = VoroNetConfig(n_max=4 * num_objects,
+                               num_long_links=num_long_links, seed=seed,
+                               use_routing_cache=use_cache)
+        overlay = VoroNet(config)
+        overlay.bulk_load(positions)
+        pairs = list(generate_routing_pairs(
+            overlay.object_ids(), num_pairs, RandomSource(seed + 1)))
+        # First pass: for the cached variant this builds every table it
+        # touches (the one-off cost a static overlay pays once); the
+        # uncached variant gets the identical pass so both timings see the
+        # same interpreter/branch warm-up.
+        started = time.perf_counter()
+        results = overlay.route_many(pairs)
+        cold[use_cache] = time.perf_counter() - started
+        # Second pass: steady state — what every subsequent batch costs.
+        started = time.perf_counter()
+        results = overlay.route_many(pairs)
+        steady[use_cache] = time.perf_counter() - started
+        answers[use_cache] = [(r.owner, r.hops) for r in results]
+
+    identical = answers[True] == answers[False]
+    return {
+        "benchmark": "routing_cache",
+        "objects": num_objects,
+        "pairs": num_pairs,
+        "num_long_links": num_long_links,
+        "seed": seed,
+        "seconds_cached": round(steady[True], 4),
+        "seconds_cached_cold": round(cold[True], 4),
+        "seconds_uncached": round(steady[False], 4),
+        "routes_per_second_cached": round(num_pairs / steady[True], 1),
+        "routes_per_second_uncached": round(num_pairs / steady[False], 1),
+        "speedup": round(steady[False] / steady[True], 2),
+        "speedup_cold": round(cold[False] / cold[True], 2),
+        "owners_and_hops_identical": identical,
+        "mean_hops": round(sum(h for _o, h in answers[True]) / num_pairs, 3),
+    }
+
+
+def format_routing_bench(record: dict) -> str:
+    """One-paragraph human rendering of a bench record."""
+    return (
+        f"Routing cache @ {record['objects']} objects, "
+        f"{record['pairs']} pairs (k={record['num_long_links']}): "
+        f"uncached {record['seconds_uncached']:.2f}s "
+        f"({record['routes_per_second_uncached']:.0f}/s), "
+        f"cached {record['seconds_cached']:.2f}s "
+        f"({record['routes_per_second_cached']:.0f}/s) — "
+        f"{record['speedup']:.1f}x steady, {record['speedup_cold']:.1f}x cold; "
+        f"owners/hops identical: {record['owners_and_hops_identical']}, "
+        f"mean hops: {record['mean_hops']}"
+    )
+
+
+def test_routing_cache_speedup(benchmark, bench_scale):
+    """Cached routing beats per-hop view assembly with identical answers."""
+    from conftest import run_once
+
+    num_objects = max(1000, int(round(DEFAULT_OBJECTS * bench_scale)))
+    num_pairs = max(500, int(round(DEFAULT_PAIRS * bench_scale)))
+    record = run_once(benchmark, run_routing_bench,
+                      num_objects=num_objects, num_pairs=num_pairs)
+    print()
+    print(format_routing_bench(record))
+    benchmark.extra_info.update(record)
+
+    assert record["owners_and_hops_identical"]
+    # The canonical 5000-object record shows >3.5x; leave headroom for
+    # small scales and noisy CI machines.
+    assert record["speedup"] >= 2.0
+
+
+def main(argv=None) -> int:
+    """Entry point of ``python benchmarks/bench_routing.py``."""
+    parser = argparse.ArgumentParser(
+        description="Benchmark cached greedy routing against per-hop view assembly.")
+    parser.add_argument("--objects", type=int, default=DEFAULT_OBJECTS,
+                        help=f"overlay size (default {DEFAULT_OBJECTS})")
+    parser.add_argument("--pairs", type=int, default=DEFAULT_PAIRS,
+                        help=f"routed pairs (default {DEFAULT_PAIRS})")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--long-links", type=int, default=1)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail when the cached/uncached ratio drops below "
+                             "this (CI smoke uses 1.0)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON bench record here")
+    args = parser.parse_args(argv)
+
+    record = run_routing_bench(num_objects=args.objects, num_pairs=args.pairs,
+                               seed=args.seed, num_long_links=args.long_links)
+    print(format_routing_bench(record))
+    if args.output is not None:
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"record written to {args.output}")
+    ok = record["owners_and_hops_identical"]
+    if args.min_speedup is not None and record["speedup"] < args.min_speedup:
+        print(f"FAIL: speedup {record['speedup']} < required {args.min_speedup}")
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,13 @@ class VoroNetConfig:
         from their introducer regardless); lookup/query hop counts shrink
         because requests enter near their target.  Disable to model every
         request entering the overlay at a uniformly random peer.
+    use_routing_cache:
+        Serve greedy forwarding from the overlay's epoch-invalidated flat
+        routing tables (see the :mod:`repro.core.overlay` module docstring
+        for the invalidation contract).  Results are identical with the
+        cache on or off — only the per-hop constant factor changes; the
+        switch exists so parity tests and benchmarks can compare the two
+        paths on the same overlay structure.
     track_paths:
         Record full routing paths in :class:`~repro.core.routing.RouteResult`
         objects (memory-heavier; useful for debugging and examples).
@@ -78,6 +85,7 @@ class VoroNetConfig:
     maintain_back_links: bool = True
     allow_overflow: bool = False
     use_locate_index: bool = True
+    use_routing_cache: bool = True
     track_paths: bool = False
     seed: Optional[int] = None
 

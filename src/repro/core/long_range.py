@@ -31,6 +31,7 @@ __all__ = [
     "choose_long_range_targets",
     "choose_long_range_target_array",
     "link_length_density",
+    "target_area_density",
     "expected_link_count_in_disk",
 ]
 

@@ -77,6 +77,7 @@ def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
                 source = overlay.node(back_link.source)
                 source.retarget_long_link(back_link.link_index, object_id)
                 messages += 2  # hand-over to the new holder + notify the source
+    overlay.invalidate_routing_tables()
     return messages
 
 
@@ -127,6 +128,7 @@ def bulk_integrate_objects(overlay: "VoroNet", object_ids: List[int]) -> int:
                 overlay.node(back_link.source).retarget_long_link(
                     back_link.link_index, owner)
                 messages += 2  # hand-over to the new holder + notify the source
+    overlay.invalidate_routing_tables()
     return messages
 
 
@@ -191,6 +193,7 @@ def detach_object(overlay: "VoroNet", object_id: int) -> int:
         if endpoint in overlay and endpoint != object_id:
             overlay.node(endpoint).remove_back_link(object_id, index)
             messages += 1
+    overlay.invalidate_routing_tables()
     return messages
 
 

@@ -109,6 +109,9 @@ def register_close_neighbors(overlay: "VoroNet", object_id: int,
         node.add_close_neighbor(neighbor_id)
         overlay.node(neighbor_id).add_close_neighbor(object_id)
         messages += 1
+    # Close neighbours are forwarding candidates on both endpoints: any
+    # cached routing table touching this pair is now stale.
+    overlay.invalidate_routing_tables()
     return messages
 
 

@@ -22,6 +22,26 @@ own simulator works at.  The message-level distributed execution, where
 every object acts only on its local view, lives in
 :mod:`repro.simulation.protocol` and is validated against this class in the
 integration tests.
+
+Epoch / invalidation contract
+-----------------------------
+Greedy forwarding is served from *flat routing tables*: per object and per
+variant (with long links / Delaunay-only), a candidate-id array aligned
+with a ``(k, 2)`` position array, equal at all times to the freshly
+assembled :attr:`NeighborView.routing_neighbors` of that object.  Tables
+are built lazily by :meth:`VoroNet.routing_table` and invalidated wholesale
+by the monotone :attr:`VoroNet.topology_epoch`, which every mutation of
+view-relevant state bumps — :meth:`insert`, :meth:`remove`,
+:meth:`bulk_load`, long-link establishment/churn
+(:meth:`reset_long_links`), and the maintenance procedures
+(close-neighbour registration, back-link hand-over, long-link
+re-delegation) via :meth:`invalidate_routing_tables`.  Code that mutates
+:class:`~repro.core.node.ObjectNode` view state outside those entry points
+MUST call :meth:`invalidate_routing_tables` afterwards, or cached tables go
+stale; the shared kernel and :class:`LocateGrid` are kept exactly in sync
+by the same entry points.  Cache hits never change results — with
+``use_routing_cache`` disabled the same answers come from per-hop view
+assembly, which is what the parity tests assert.
 """
 
 from __future__ import annotations
@@ -99,6 +119,16 @@ class VoroNet:
         self._next_id = 0
         self._join_counter = itertools.count()
         self._stats = OverlayStats()
+        # Epoch-invalidated flat routing tables (see the module docstring):
+        # one dict per variant (with long links / Delaunay-only), each
+        # object_id → [epoch, candidate ids | None, (k, 2) positions | None,
+        # flat (id, x, y) scan block].  Two bare-int-keyed dicts instead of
+        # one tuple-keyed dict (the hot loop probes once per forwarding
+        # hop), and the numpy arrays are materialised lazily so join-heavy
+        # churn — which invalidates on every insert — never pays for arrays
+        # it immediately throws away.
+        self._topology_epoch = 0
+        self._routing_tables: Dict[bool, Dict[int, list]] = {True: {}, False: {}}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -177,6 +207,93 @@ class VoroNet:
             long_range=frozenset(node.long_link_neighbors()),
             back_long_range=frozenset(node.back_link_sources()),
         )
+
+    @property
+    def topology_epoch(self) -> int:
+        """Monotone counter of view-relevant topology changes.
+
+        Bumped by every insert/remove/bulk load, by long-link churn and by
+        the maintenance procedures; cached routing tables are valid exactly
+        when their stored epoch equals this value.
+        """
+        return self._topology_epoch
+
+    def invalidate_routing_tables(self) -> None:
+        """Bump the topology epoch, lazily invalidating every routing table.
+
+        The overlay's own mutation entry points call this; external code
+        that mutates per-object view state directly (tests, protocol
+        bridges) must call it too, per the module-level contract.
+        """
+        self._topology_epoch += 1
+
+    def routing_table(self, object_id: int,
+                      use_long_links: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat greedy-forwarding table of one object.
+
+        Returns ``(ids, positions)``: an int64 array of the candidate
+        neighbour ids (``vn ∪ cn ∪ LRn`` minus self, or without ``LRn`` for
+        the Delaunay-only variant, sorted for determinism) and the aligned
+        ``(k, 2)`` float64 position array.  Cached against
+        :attr:`topology_epoch` when the configuration enables the routing
+        cache; always equal to a freshly assembled
+        :attr:`~repro.core.neighbors.NeighborView.routing_neighbors`.
+        """
+        return self._entry_arrays(self._routing_entry(object_id, use_long_links))
+
+    @staticmethod
+    def _entry_arrays(entry: list) -> Tuple[np.ndarray, np.ndarray]:
+        """Id/position arrays of a routing entry, materialised on demand.
+
+        Arrays are built lazily into the entry itself so join-heavy churn
+        (which invalidates on every insert) never pays for numpy arrays it
+        immediately throws away; the hot loop passes the entry it already
+        holds, avoiding a second cache resolution.
+        """
+        if entry[1] is None:
+            block = entry[3]
+            entry[1] = np.asarray([cid for cid, _x, _y in block],
+                                  dtype=np.int64)
+            entry[2] = np.asarray([(x, y) for _cid, x, y in block],
+                                  dtype=np.float64).reshape(len(block), 2)
+        return entry[1], entry[2]
+
+    def _routing_block(self, object_id: int,
+                       use_long_links: bool) -> List[Tuple[int, float, float]]:
+        """Flat ``(id, x, y)`` scan block of one object's routing table.
+
+        The list form of :meth:`routing_table`, cached in the same entry;
+        the greedy hot loop scans it inline for the O(1)-size views of the
+        paper and switches to the numpy arrays past a size threshold.  The
+        cache-hit path is deliberately flat — one dict probe, one epoch
+        compare — because it runs once per forwarding hop.
+        """
+        entry = self._routing_tables[use_long_links].get(object_id)
+        if entry is not None and entry[0] == self._topology_epoch:
+            return entry[3]
+        return self._routing_entry(object_id, use_long_links)[3]
+
+    def _routing_entry(self, object_id: int, use_long_links: bool) -> list:
+        entry = self._routing_tables[use_long_links].get(object_id)
+        if entry is not None and entry[0] == self._topology_epoch:
+            return entry
+        node = self.node(object_id)
+        candidates = set(self._triangulation.neighbors(object_id))
+        candidates.update(node.close_neighbors)
+        if use_long_links:
+            candidates.update(node.long_link_neighbors())
+        candidates.discard(object_id)
+        nodes = self._nodes
+        try:
+            block = [(cid,) + nodes[cid].position for cid in sorted(candidates)]
+        except KeyError as exc:
+            # A view referencing a departed object (e.g. crash damage before
+            # repair) fails the same way the per-hop assembly path does.
+            raise ObjectNotFoundError(exc.args[0]) from None
+        entry = [self._topology_epoch, None, None, block]
+        if self._config.use_routing_cache:
+            self._routing_tables[use_long_links][object_id] = entry
+        return entry
 
     def degree_histogram(self) -> Dict[int, int]:
         """Histogram of Voronoi out-degrees ``|vn(o)|`` (the Figure 5 metric)."""
@@ -334,6 +451,7 @@ class VoroNet:
         # failed insert must never burn (and permanently skip) an auto id.
         self._next_id = max(self._next_id, object_id + 1)
         self._locate_index.insert(object_id, position)
+        self.invalidate_routing_tables()
         messages += integrate_new_object(self, object_id)
 
         # Long-range links: drawn and resolved by routing from the new object.
@@ -358,6 +476,10 @@ class VoroNet:
                 endpoint = route.owner
                 hops = route.hops
             node.set_long_link(index, target, endpoint)
+            # Each installed link changes this object's own forwarding
+            # candidates, and the next link is resolved by routing *from*
+            # this object — invalidate before that route runs.
+            self.invalidate_routing_tables()
             if self._config.maintain_back_links:
                 # Register the reverse pointer even when the owner is the
                 # object itself: a later joiner closer to the target must be
@@ -368,6 +490,28 @@ class VoroNet:
             messages += hops
             self._stats.long_link_searches.record(hops, hops + 1)
         return messages
+
+    def reset_long_links(self, object_id: int) -> int:
+        """Redraw and re-resolve every long link of one object (link churn).
+
+        Deregisters the object's current links at their endpoints, draws
+        fresh Choose-LRT targets and resolves them by greedy routing, as a
+        re-publication of the links would.  Returns the message cost; used
+        by churn workloads and the cache-invalidation stress tests.
+        """
+        node = self.node(object_id)
+        messages = 0
+        if self._config.maintain_back_links:
+            for index, link in enumerate(node.long_links):
+                # Self-pointing links also carry a (local) back
+                # registration — deregister those too, message-free.
+                if link.neighbor in self._nodes:
+                    self._nodes[link.neighbor].remove_back_link(object_id, index)
+                    if link.neighbor != object_id:
+                        messages += 1
+        node.long_links.clear()
+        self.invalidate_routing_tables()
+        return messages + self._establish_long_links(object_id)
 
     def _sample_object_id(self) -> int:
         """A uniformly random already-published object id (the introducer)."""
@@ -391,6 +535,9 @@ class VoroNet:
         self._triangulation.remove(object_id)
         del self._nodes[object_id]
         self._locate_index.discard(object_id)
+        self._routing_tables[True].pop(object_id, None)
+        self._routing_tables[False].pop(object_id, None)
+        self.invalidate_routing_tables()
         self._stats.leaves.record(0, messages)
 
     # ------------------------------------------------------------------
@@ -524,6 +671,7 @@ class VoroNet:
             )
         self._locate_index.bulk_insert(zip(ids, batch))
         self._next_id = ids[-1] + 1
+        self.invalidate_routing_tables()
 
         bulk_integrate_objects(self, ids)
         self._establish_long_links_bulk(ids, batch)
@@ -552,16 +700,23 @@ class VoroNet:
             np.asarray(batch, dtype=np.float64),
             self._config.effective_d_min, k, self._rng)
         locate = self._locate_index
-        nearest = self._triangulation.nearest_vertex
+        # One batched kernel descent over all n·k targets: grid hints seed
+        # every walk, the shared neighbour-block cache stays warm across the
+        # whole batch, and endpoints are identical to per-target calls.
+        flat = targets.reshape(-1, 2)
+        flat_targets = [(float(x), float(y)) for x, y in flat]
+        endpoints = self._triangulation.nearest_vertices(
+            flat_targets, hints=[locate.hint(t) for t in flat_targets])
         for i, object_id in enumerate(ids):
             node = self._nodes[object_id]
             for index in range(k):
-                target = (float(targets[i, index, 0]), float(targets[i, index, 1]))
-                endpoint = nearest(target, hint=locate.hint(target))
+                target = flat_targets[i * k + index]
+                endpoint = endpoints[i * k + index]
                 node.set_long_link(index, target, endpoint)
                 if self._config.maintain_back_links:
                     self._nodes[endpoint].add_back_link(object_id, index, target)
                 self._stats.long_link_searches.record(0, 1)
+        self.invalidate_routing_tables()
 
     def random_object_id(self) -> int:
         """A uniformly random published object id."""

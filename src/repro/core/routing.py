@@ -22,7 +22,7 @@ Two termination rules are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.errors import EmptyOverlayError, ObjectNotFoundError, RoutingError
@@ -74,16 +74,74 @@ class RouteResult:
         return self.hops
 
 
+#: Block size beyond which the cached greedy step uses the numpy argmin
+#: instead of the inline scan.  The paper's views are O(1) (≈ 6 Voronoi +
+#: close + k long links), where ufunc dispatch overhead dwarfs the work;
+#: dense close-neighbour cliques and large k cross over.
+_VECTOR_ARGMIN_THRESHOLD = 48
+
+
+def _vector_step(overlay: "VoroNet", current: int, tx: float, ty: float,
+                 use_long_links: bool, best_d: float) -> tuple:
+    """Vectorised argmin over the cached ``(k, 2)`` position block."""
+    ids, positions = overlay.routing_table(current, use_long_links)
+    dx = positions[:, 0] - tx
+    dy = positions[:, 1] - ty
+    distances = dx * dx + dy * dy
+    index = distances.argmin()
+    d = distances[index]
+    if d < best_d:
+        return int(ids[index]), float(d)
+    return None, best_d
+
+
+def _cached_step(overlay: "VoroNet", current: int, tx: float, ty: float,
+                 use_long_links: bool, best_d: float
+                 ) -> tuple:
+    """One greedy step over the epoch-cached routing table of ``current``.
+
+    Returns ``(next_id, next_d)`` — the candidate strictly closer to the
+    target than ``best_d`` (squared) and its squared distance, or
+    ``(None, best_d)`` at a local minimum.  Small blocks are scanned
+    inline; large ones go through the vectorised argmin over the cached
+    ``(k, 2)`` position array.
+    """
+    block = overlay._routing_block(current, use_long_links)
+    if len(block) >= _VECTOR_ARGMIN_THRESHOLD:
+        return _vector_step(overlay, current, tx, ty, use_long_links, best_d)
+    best = None
+    for cid, x, y in block:
+        dx = x - tx
+        dy = y - ty
+        d = dx * dx + dy * dy
+        if d < best_d:
+            best, best_d = cid, d
+    return best, best_d
+
+
 def _greedy_step(overlay: "VoroNet", current: int, target: Point,
                  use_long_links: bool) -> Optional[int]:
-    """Neighbour of ``current`` strictly closer to ``target``, or ``None``."""
-    best = None
+    """Neighbour of ``current`` strictly closer to ``target``, or ``None``.
+
+    With the routing cache enabled (the default) the step is one argmin
+    over the object's epoch-cached flat routing table; otherwise the view
+    is assembled per hop as the paper's message-level protocol would,
+    scanning the same candidate set.  Both paths forward only on a
+    *strictly* smaller distance, so they terminate at the same owner.
+    """
     best_d = distance_sq(overlay.position_of(current), target)
+    if overlay.config.use_routing_cache:
+        return _cached_step(overlay, current, target[0], target[1],
+                            use_long_links, best_d)[0]
+    best = None
     view = overlay.neighbor_view(current)
     candidates = view.routing_neighbors if use_long_links else (
         set(view.voronoi) | set(view.close)
     )
-    for neighbor in candidates:
+    # Sorted scan, like the cached tables: on exact distance ties both
+    # paths forward to the lowest-id minimal candidate, keeping the
+    # cache-on/cache-off parity contract exact (not just almost-surely).
+    for neighbor in sorted(candidates):
         d = distance_sq(overlay.position_of(neighbor), target)
         if d < best_d:
             best, best_d = neighbor, d
@@ -118,24 +176,78 @@ def greedy_route(overlay: "VoroNet", source: int, target: Point, *,
         raise EmptyOverlayError("cannot route on an empty overlay")
     if source not in overlay:
         raise ObjectNotFoundError(source)
+    if max_hops is not None and max_hops <= 0:
+        raise ValueError(f"max_hops must be positive, got {max_hops}")
     target = (float(target[0]), float(target[1]))
     limit = max_hops if max_hops is not None else len(overlay) + 16
     record = overlay.config.track_paths
     path = [source] if record else None
     current = source
     hops = 0
-    while True:
-        nxt = _greedy_step(overlay, current, target, use_long_links)
-        if nxt is None:
-            break
-        current = nxt
-        hops += 1
-        if record:
-            path.append(current)
-        if hops > limit:
-            raise RoutingError(
-                f"greedy route from {source} to {target} exceeded {limit} hops"
-            )
+    if overlay.config.use_routing_cache:
+        # Hot loop over the epoch-cached tables: the squared distance of the
+        # chosen candidate is carried into the next hop and the block scan
+        # is inlined, so each hop costs one dict probe plus one pass over an
+        # O(1)-size block — no per-hop view assembly, no re-measuring of the
+        # current object, no per-hop function calls.
+        tx, ty = target
+        cx, cy = overlay.position_of(current)
+        current_d = (cx - tx) * (cx - tx) + (cy - ty) * (cy - ty)
+        # The epoch is frozen for the whole route (routing never mutates
+        # the topology), so the per-hop cache probe is one dict.get plus
+        # one int compare, with no method-call or key-tuple overhead.
+        tables = overlay._routing_tables[use_long_links]
+        epoch = overlay.topology_epoch
+        build_entry = overlay._routing_entry
+        while True:
+            entry = tables.get(current)
+            if entry is None or entry[0] != epoch:
+                entry = build_entry(current, use_long_links)
+            block = entry[3]
+            nxt = None
+            if len(block) >= _VECTOR_ARGMIN_THRESHOLD:
+                # Vectorised argmin straight off the entry the loop already
+                # holds — no second cache resolution.
+                ids, positions = overlay._entry_arrays(entry)
+                dx = positions[:, 0] - tx
+                dy = positions[:, 1] - ty
+                distances = dx * dx + dy * dy
+                index = distances.argmin()
+                d = distances[index]
+                if d < current_d:
+                    current_d = float(d)
+                    nxt = int(ids[index])
+            else:
+                for cid, x, y in block:
+                    dx = x - tx
+                    dy = y - ty
+                    d = dx * dx + dy * dy
+                    if d < current_d:
+                        current_d = d
+                        nxt = cid
+            if nxt is None:
+                break
+            current = nxt
+            hops += 1
+            if record:
+                path.append(current)
+            if hops > limit:
+                raise RoutingError(
+                    f"greedy route from {source} to {target} exceeded {limit} hops"
+                )
+    else:
+        while True:
+            nxt = _greedy_step(overlay, current, target, use_long_links)
+            if nxt is None:
+                break
+            current = nxt
+            hops += 1
+            if record:
+                path.append(current)
+            if hops > limit:
+                raise RoutingError(
+                    f"greedy route from {source} to {target} exceeded {limit} hops"
+                )
     return RouteResult(
         source=source,
         target=target,
@@ -180,6 +292,8 @@ def route_with_stopping_rule(overlay: "VoroNet", source: int, target: Point, *,
         raise EmptyOverlayError("cannot route on an empty overlay")
     if source not in overlay:
         raise ObjectNotFoundError(source)
+    if max_hops is not None and max_hops <= 0:
+        raise ValueError(f"max_hops must be positive, got {max_hops}")
     target = (float(target[0]), float(target[1]))
     d_min = overlay.config.effective_d_min
     limit = max_hops if max_hops is not None else len(overlay) + 16

@@ -50,7 +50,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.geometry.point import Point, distance_sq
+from repro.geometry.point import Point
 from repro.geometry.predicates import incircle, orient2d, segment_contains
 
 __all__ = ["DelaunayTriangulation", "DuplicatePointError", "INFINITE_VERTEX"]
@@ -141,6 +141,12 @@ class DelaunayTriangulation:
         self._has_triangulation = False
         self._next_id = 0
         self._last_vertex: Optional[int] = None
+        # Monotone structure version: bumped on every topological mutation
+        # (insert, remove, rebuild).  Per-vertex neighbour blocks are cached
+        # against it so repeated point locations between mutations never
+        # re-walk a vertex star.
+        self._version = 0
+        self._neighbor_cache: Dict[int, Tuple[int, List[Tuple[int, float, float]]]] = {}
         if points:
             for p in points:
                 self.insert(p)
@@ -179,6 +185,18 @@ class DelaunayTriangulation:
     def last_vertex(self) -> Optional[int]:
         """The most recently inserted vertex (the default location hint)."""
         return self._last_vertex
+
+    @property
+    def version(self) -> int:
+        """Monotone structure version, bumped on every topological mutation.
+
+        Consumers caching anything derived from the adjacency (neighbour
+        blocks, routing tables) compare their stored version against this
+        value and rebuild lazily on mismatch.  It is an invalidation token,
+        not a mutation counter: one operation may advance it more than once
+        (e.g. a rebuild re-inserting every vertex).
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # triangle bookkeeping
@@ -349,6 +367,11 @@ class DelaunayTriangulation:
         self._coord_index[point] = vertex_id
         if not self._has_triangulation:
             self._try_bootstrap()
+            # Degenerate-path insertions (< 3 non-collinear points) change
+            # the implied path adjacency without touching any triangle;
+            # the triangulated path bumps inside _insert_into_triangulation
+            # (shared with bulk_insert, which bypasses this method).
+            self._version += 1
         else:
             self._insert_into_triangulation(vertex_id, hint)
         self._last_vertex = vertex_id
@@ -556,6 +579,7 @@ class DelaunayTriangulation:
             del apex[edge]
         for a, b in boundary:
             self._add_triangle(a, b, vertex_id)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # deletion
@@ -569,6 +593,8 @@ class DelaunayTriangulation:
         """
         if vertex_id not in self._points:
             raise KeyError(f"unknown vertex {vertex_id}")
+        self._version += 1
+        self._neighbor_cache.pop(vertex_id, None)
         point = self._points[vertex_id]
         if not self._has_triangulation:
             del self._points[vertex_id]
@@ -617,6 +643,8 @@ class DelaunayTriangulation:
         self._apex.clear()
         self._vertex_edge.clear()
         self._has_triangulation = False
+        self._version += 1
+        self._neighbor_cache.clear()
         self._try_bootstrap()
 
     def _triangulate_star_polygon(self, ring: List[int]) -> Optional[List[Triangle]]:
@@ -731,6 +759,20 @@ class DelaunayTriangulation:
             result.append((vertex_id, a, b))
         return result
 
+    def _neighbor_block(self, vertex_id: int) -> List[Tuple[int, float, float]]:
+        """``(id, x, y)`` triples of a vertex's finite neighbours, cached.
+
+        The block is rebuilt lazily when the structure version moved since
+        it was stored, so point location between mutations never re-walks a
+        vertex star and never touches the apex map.
+        """
+        entry = self._neighbor_cache.get(vertex_id)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        block = [(nb,) + self._points[nb] for nb in self.neighbors(vertex_id)]
+        self._neighbor_cache[vertex_id] = (self._version, block)
+        return block
+
     def nearest_vertex(self, point: Point, hint: Optional[int] = None) -> int:
         """Vertex whose Voronoi region contains ``point`` (greedy graph descent).
 
@@ -740,17 +782,18 @@ class DelaunayTriangulation:
         """
         if not self._points:
             raise ValueError("empty triangulation has no nearest vertex")
-        point = (float(point[0]), float(point[1]))
+        px, py = float(point[0]), float(point[1])
         current = hint if hint is not None and hint in self._points else self._last_vertex
         if current is None or current not in self._points:
             current = next(iter(self._points))
-        current_d = distance_sq(self._points[current], point)
+        cx, cy = self._points[current]
+        current_d = (cx - px) * (cx - px) + (cy - py) * (cy - py)
         guard = 0
         limit = len(self._points) + 8
         while True:
             best, best_d = current, current_d
-            for nb in self.neighbors(current):
-                d = distance_sq(self._points[nb], point)
+            for nb, nx, ny in self._neighbor_block(current):
+                d = (nx - px) * (nx - px) + (ny - py) * (ny - py)
                 if d < best_d:
                     best, best_d = nb, d
             if best == current:
@@ -759,6 +802,31 @@ class DelaunayTriangulation:
             guard += 1
             if guard > limit:  # pragma: no cover - defensive
                 raise TriangulationCorruptionError("nearest_vertex failed to converge")
+
+    def nearest_vertices(self, points: Sequence[Point],
+                         hints: Optional[Sequence[Optional[int]]] = None
+                         ) -> List[int]:
+        """Voronoi-region owners of a whole batch of query points.
+
+        The batched form of :meth:`nearest_vertex` used for bulk long-link
+        resolution: every descent runs over the version-cached neighbour
+        blocks (warmed by the batch itself), and a query without an explicit
+        hint starts from the previous query's answer, which for spatially
+        correlated batches keeps each walk O(1).  Owners are exact and
+        identical to per-point :meth:`nearest_vertex` calls with the same
+        hints.
+        """
+        if not self._points:
+            raise ValueError("empty triangulation has no nearest vertex")
+        owners: List[int] = []
+        previous: Optional[int] = None
+        for index, point in enumerate(points):
+            hint = hints[index] if hints is not None else None
+            if hint is None:
+                hint = previous
+            previous = self.nearest_vertex(point, hint=hint)
+            owners.append(previous)
+        return owners
 
     def locate(self, point: Point, hint: Optional[int] = None) -> int:
         """Alias of :meth:`nearest_vertex` (Voronoi-region owner of ``point``)."""

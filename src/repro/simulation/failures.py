@@ -139,6 +139,14 @@ class CrashInjector:
         overlay = self._overlay
         overlay.triangulation.remove(object_id)
         del overlay._nodes[object_id]  # noqa: SLF001 - deliberate fault injection
+        # The *substrate* state (tessellation, locate grid, caches) is
+        # repaired — only the protocol-level hand-overs are skipped.  Per
+        # the overlay's epoch contract, direct mutation must invalidate the
+        # routing tables, or survivors would greedily forward to crashed
+        # ids; likewise the grid must drop the id or lookups would enter
+        # the overlay at a dead peer.
+        overlay.locate_index.discard(object_id)
+        overlay.invalidate_routing_tables()
         self._crashed.append(object_id)
 
     def assess_damage(self) -> CrashDamageReport:
@@ -189,4 +197,6 @@ class CrashInjector:
             for close_id in stale:
                 node.discard_close_neighbor(close_id)
                 fixed += 1
+        # Retargeted long links changed forwarding candidates (epoch contract).
+        overlay.invalidate_routing_tables()
         return fixed

@@ -140,6 +140,54 @@ class TestStoppingRule:
         with pytest.raises(ObjectNotFoundError):
             route_with_stopping_rule(tiny_overlay, 999, (0.5, 0.5))
 
+    def test_stopping_rule_records_path_when_enabled(self, numpy_rng):
+        """Regression: the stopping-rule variant must honour track_paths."""
+        overlay = VoroNet(VoroNetConfig(n_max=200, seed=4, track_paths=True))
+        ids = [overlay.insert(tuple(p)) for p in numpy_rng.random((80, 2))]
+        result = route_with_stopping_rule(overlay, ids[0], (0.93, 0.91))
+        assert result.path is not None
+        assert result.path[0] == ids[0]
+        assert result.path[-1] == result.owner
+        assert len(result.path) == result.hops + 1
+
+
+class TestMaxHopsValidation:
+    """User-supplied max_hops ≤ 0 must be rejected, not silently explode."""
+
+    @pytest.mark.parametrize("bad_max_hops", [0, -1, -100])
+    def test_greedy_route_rejects_non_positive_max_hops(self, tiny_overlay,
+                                                        bad_max_hops):
+        with pytest.raises(ValueError, match="max_hops"):
+            greedy_route(tiny_overlay, tiny_overlay.object_ids()[0],
+                         (0.9, 0.9), max_hops=bad_max_hops)
+
+    @pytest.mark.parametrize("bad_max_hops", [0, -1])
+    def test_route_to_object_rejects_non_positive_max_hops(self, tiny_overlay,
+                                                           bad_max_hops):
+        ids = tiny_overlay.object_ids()
+        with pytest.raises(ValueError, match="max_hops"):
+            route_to_object(tiny_overlay, ids[0], ids[1],
+                            max_hops=bad_max_hops)
+
+    @pytest.mark.parametrize("bad_max_hops", [0, -1])
+    def test_stopping_rule_rejects_non_positive_max_hops(self, tiny_overlay,
+                                                         bad_max_hops):
+        with pytest.raises(ValueError, match="max_hops"):
+            route_with_stopping_rule(tiny_overlay, tiny_overlay.object_ids()[0],
+                                     (0.9, 0.9), max_hops=bad_max_hops)
+
+    def test_positive_max_hops_still_enforced(self, small_overlay):
+        """A tight positive cap keeps raising RoutingError as before."""
+        from repro.core.errors import RoutingError
+        ids = small_overlay.object_ids()
+        with pytest.raises(RoutingError):
+            # Routing across the overlay needs more than one hop for at
+            # least one of these pairs.
+            for a in ids[:10]:
+                for b in ids[-10:]:
+                    if a != b:
+                        route_to_object(small_overlay, a, b, max_hops=1)
+
 
 class TestOverlayRouteAPI:
     def test_route_accepts_object_id(self, small_overlay):

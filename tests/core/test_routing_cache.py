@@ -1,0 +1,284 @@
+"""Tests of the epoch-cached flat routing tables.
+
+Three layers of protection for the routing hot path:
+
+* a Hypothesis *stateful* machine interleaving inserts, removes, bulk
+  loads and long-link churn, asserting after every step that each cached
+  table equals a freshly assembled view (the module-level contract of
+  :mod:`repro.core.overlay`);
+* a churn stress test at N≈500 keeping ``owner_of`` / ``lookup`` /
+  ``route`` answers identical with the cache on vs. off through
+  alternating insert/remove/link-reset bursts (locate-grid and table
+  invalidation under churn);
+* direct parity regressions for ``route`` / ``route_many`` /
+  ``lookup_many`` and the Algorithm 5 stopping rule.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import VoroNet, VoroNetConfig
+from repro.core.errors import DuplicateObjectError
+from repro.core.routing import route_with_stopping_rule
+from repro.utils.rng import RandomSource
+from repro.workloads.generators import generate_routing_pairs
+
+
+def fresh_routing_sets(overlay, object_id):
+    """Ground truth: forwarding candidates assembled from a fresh view."""
+    view = overlay.neighbor_view(object_id)
+    with_links = view.routing_neighbors
+    delaunay_only = set(view.voronoi) | set(view.close)
+    delaunay_only.discard(object_id)
+    return with_links, delaunay_only
+
+
+def assert_tables_match_views(overlay):
+    """Every cached table equals the freshly assembled view of its object."""
+    for object_id in overlay.object_ids():
+        with_links, delaunay_only = fresh_routing_sets(overlay, object_id)
+        for use_long_links, expected in ((True, with_links),
+                                         (False, delaunay_only)):
+            ids, positions = overlay.routing_table(object_id, use_long_links)
+            assert set(int(i) for i in ids) == expected
+            assert positions.shape == (len(ids), 2)
+            for row, candidate in enumerate(ids):
+                assert tuple(positions[row]) == \
+                    overlay.position_of(int(candidate))
+
+
+class RoutingCacheMachine(RuleBasedStateMachine):
+    """Arbitrary interleavings of topology mutations never leave a cached
+    routing table out of sync with the fresh ``NeighborView``."""
+
+    def __init__(self):
+        super().__init__()
+        self.overlay = VoroNet(VoroNetConfig(
+            n_max=64, allow_overflow=True, num_long_links=2, seed=1202))
+        self.last_epoch = self.overlay.topology_epoch
+
+    def _pick(self, token):
+        ids = self.overlay.object_ids()
+        return ids[token % len(ids)]
+
+    @rule(x=st.floats(0.01, 0.99), y=st.floats(0.01, 0.99))
+    def insert_object(self, x, y):
+        try:
+            self.overlay.insert((x, y))
+        except DuplicateObjectError:
+            pass
+
+    @rule(xs=st.lists(st.tuples(st.floats(0.01, 0.99), st.floats(0.01, 0.99)),
+                      min_size=1, max_size=4))
+    def bulk_load_batch(self, xs):
+        try:
+            self.overlay.bulk_load(xs)
+        except DuplicateObjectError:
+            pass
+
+    @precondition(lambda self: len(self.overlay) > 1)
+    @rule(token=st.integers(min_value=0))
+    def remove_object(self, token):
+        self.overlay.remove(self._pick(token))
+
+    @precondition(lambda self: len(self.overlay) > 0)
+    @rule(token=st.integers(min_value=0))
+    def churn_long_links(self, token):
+        self.overlay.reset_long_links(self._pick(token))
+
+    @invariant()
+    def epoch_is_monotone(self):
+        epoch = self.overlay.topology_epoch
+        assert epoch >= self.last_epoch
+        self.last_epoch = epoch
+
+    @invariant()
+    def tables_equal_fresh_views(self):
+        assert_tables_match_views(self.overlay)
+
+
+TestRoutingCacheStateful = RoutingCacheMachine.TestCase
+TestRoutingCacheStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None)
+
+
+def _twin_overlays(num_long_links=1, seed=2024, n_max=2000):
+    """Two structurally identical overlays, one cached, one not.
+
+    Both consume their internal RNGs in the same order for the same
+    operation sequence, so their structures stay byte-identical and any
+    divergence in answers is the cache's fault.
+    """
+    overlays = []
+    for use_cache in (True, False):
+        overlays.append(VoroNet(VoroNetConfig(
+            n_max=n_max, num_long_links=num_long_links, seed=seed,
+            use_routing_cache=use_cache)))
+    return overlays
+
+
+class TestChurnStress:
+    def test_churn_bursts_keep_answers_identical(self):
+        """Alternating insert/remove/link-churn bursts at N≈500: owner_of,
+        lookup and route answer identically with the cache on vs. off, and
+        the locate grid stays exactly in sync."""
+        cached, uncached = _twin_overlays(seed=501)
+        pool = np.random.default_rng(501)
+        batch = [tuple(p) for p in pool.random((500, 2))]
+        cached.bulk_load(batch)
+        uncached.bulk_load(batch)
+
+        probe_rng = np.random.default_rng(777)
+        for burst in range(3):
+            # Removal burst: the same ids leave both overlays.
+            ids = cached.object_ids()
+            doomed = probe_rng.choice(ids, size=40, replace=False)
+            for object_id in doomed:
+                cached.remove(int(object_id))
+                uncached.remove(int(object_id))
+            # Insert burst (routed joins; both overlays draw identically).
+            for point in pool.random((40, 2)):
+                cached.insert(tuple(point))
+                uncached.insert(tuple(point))
+            # Long-link churn burst.
+            ids = cached.object_ids()
+            for object_id in probe_rng.choice(ids, size=10, replace=False):
+                cached.reset_long_links(int(object_id))
+                uncached.reset_long_links(int(object_id))
+
+            # The two overlays must still be structurally identical …
+            assert cached.object_ids() == uncached.object_ids()
+            # … the locate grid exactly in sync with the membership …
+            assert set(cached.object_ids()) == {
+                oid for oid in cached.object_ids()
+                if oid in cached.locate_index}
+            assert len(cached.locate_index) == len(cached)
+            # … and every answer identical, cache on vs. off.
+            ids = cached.object_ids()
+            for point in probe_rng.random((30, 2)):
+                point = tuple(point)
+                assert cached.owner_of(point) == uncached.owner_of(point)
+                lookup_c = cached.lookup(point)
+                lookup_u = uncached.lookup(point)
+                assert lookup_c.owner == lookup_u.owner
+                assert lookup_c.hops == lookup_u.hops
+            for a, b in [probe_rng.choice(ids, size=2, replace=False)
+                         for _ in range(30)]:
+                route_c = cached.route(int(a), int(b))
+                route_u = uncached.route(int(a), int(b))
+                assert route_c.owner == route_u.owner
+                assert route_c.hops == route_u.hops
+
+        assert cached.check_consistency() == []
+        assert_tables_match_views(cached)
+
+
+class TestCacheParity:
+    @pytest.fixture(scope="class")
+    def twins(self):
+        cached, uncached = _twin_overlays(num_long_links=2, seed=88)
+        pool = np.random.default_rng(88)
+        for point in pool.random((150, 2)):
+            cached.insert(tuple(point))
+            uncached.insert(tuple(point))
+        return cached, uncached
+
+    @pytest.mark.parametrize("use_long_links", [True, False])
+    def test_route_parity(self, twins, use_long_links):
+        cached, uncached = twins
+        ids = cached.object_ids()
+        rng = np.random.default_rng(5)
+        for a, b in [rng.choice(ids, size=2, replace=False) for _ in range(40)]:
+            route_c = cached.route(int(a), int(b), use_long_links=use_long_links)
+            route_u = uncached.route(int(a), int(b), use_long_links=use_long_links)
+            assert route_c.owner == route_u.owner
+            assert route_c.hops == route_u.hops
+
+    @pytest.mark.parametrize("use_long_links", [True, False])
+    def test_route_many_parity(self, twins, use_long_links):
+        cached, uncached = twins
+        pairs = list(generate_routing_pairs(
+            cached.object_ids(), 60, RandomSource(6)))
+        results_c = cached.route_many(pairs, use_long_links=use_long_links)
+        results_u = uncached.route_many(pairs, use_long_links=use_long_links)
+        assert [(r.owner, r.hops) for r in results_c] == \
+            [(r.owner, r.hops) for r in results_u]
+
+    def test_lookup_many_parity(self, twins):
+        cached, uncached = twins
+        points = [tuple(p) for p in np.random.default_rng(7).random((60, 2))]
+        results_c = cached.lookup_many(points)
+        results_u = uncached.lookup_many(points)
+        assert [(r.owner, r.hops) for r in results_c] == \
+            [(r.owner, r.hops) for r in results_u]
+
+    def test_stopping_rule_parity(self, twins):
+        """The Algorithm 5 stopping rule fires at the same hop either way."""
+        cached, uncached = twins
+        ids = cached.object_ids()
+        rng = np.random.default_rng(8)
+        for _ in range(40):
+            source = int(rng.choice(ids))
+            target = tuple(rng.random(2))
+            early_c = route_with_stopping_rule(cached, source, target)
+            early_u = route_with_stopping_rule(uncached, source, target)
+            assert early_c.owner == early_u.owner
+            assert early_c.hops == early_u.hops
+
+
+class TestEpochContract:
+    def test_epoch_bumps_on_every_mutation_kind(self):
+        overlay = VoroNet(VoroNetConfig(n_max=64, seed=9))
+        epoch = overlay.topology_epoch
+        a = overlay.insert((0.2, 0.2))
+        assert overlay.topology_epoch > epoch
+
+        epoch = overlay.topology_epoch
+        overlay.bulk_load([(0.7, 0.3), (0.4, 0.8), (0.6, 0.6)])
+        assert overlay.topology_epoch > epoch
+
+        epoch = overlay.topology_epoch
+        overlay.reset_long_links(a)
+        assert overlay.topology_epoch > epoch
+
+        epoch = overlay.topology_epoch
+        overlay.remove(a)
+        assert overlay.topology_epoch > epoch
+
+        epoch = overlay.topology_epoch
+        overlay.invalidate_routing_tables()
+        assert overlay.topology_epoch == epoch + 1
+
+    def test_stale_table_rebuilt_after_direct_view_mutation(self):
+        """External node mutations must call invalidate_routing_tables —
+        after which the table reflects the new state."""
+        overlay = VoroNet(VoroNetConfig(n_max=64, seed=10))
+        ids = overlay.bulk_load([(0.1, 0.1), (0.9, 0.1), (0.5, 0.9), (0.5, 0.4)])
+        overlay.routing_table(ids[0])  # warm the cache
+        overlay.node(ids[0]).add_close_neighbor(ids[2])
+        overlay.node(ids[2]).add_close_neighbor(ids[0])
+        overlay.invalidate_routing_tables()
+        table_ids, _ = overlay.routing_table(ids[0])
+        assert ids[2] in set(int(i) for i in table_ids)
+
+    def test_removed_object_leaves_no_table_behind(self):
+        overlay = VoroNet(VoroNetConfig(n_max=64, seed=11))
+        ids = overlay.bulk_load([(0.1, 0.1), (0.9, 0.1), (0.5, 0.9), (0.5, 0.4)])
+        for object_id in ids:
+            overlay.routing_table(object_id)
+        overlay.remove(ids[0])
+        assert not any(ids[0] in variant
+                       for variant in overlay._routing_tables.values())
+        assert_tables_match_views(overlay)
+
+    def test_cache_disabled_stores_nothing(self):
+        overlay = VoroNet(VoroNetConfig(
+            n_max=64, seed=12, use_routing_cache=False))
+        overlay.bulk_load([(0.1, 0.1), (0.9, 0.1), (0.5, 0.9), (0.5, 0.4)])
+        for object_id in overlay.object_ids():
+            overlay.routing_table(object_id)
+        assert all(not variant for variant in overlay._routing_tables.values())
+        assert_tables_match_views(overlay)

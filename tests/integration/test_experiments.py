@@ -48,6 +48,14 @@ class TestFigureDrivers:
         assert set(fit.fits) == set(sweep.series)
         assert "slope" in format_fig7(fit)
 
+    def test_fig6_bulk_load_matches_shape(self):
+        """The bulk-load fast path feeds the same sweep machinery."""
+        sweep = run_fig6(scale=0.05, use_bulk_load=True)
+        assert len(sweep.checkpoints) >= 3
+        for series in sweep.series.values():
+            assert len(series) == len(sweep.checkpoints)
+            assert all(point.stats.failures == 0 for point in series)
+
     def test_fig8_small_scale(self):
         result = run_fig8(scale=0.05, link_counts=(1, 3, 6))
         assert result.link_counts == [1, 3, 6]

@@ -64,6 +64,35 @@ class TestDistributionInsensitivity:
         assert ratio < 1.5
 
 
+class TestBulkLoadSweep:
+    def test_bulk_load_sweep_reaches_paper_scale(self):
+        """``use_bulk_load=True`` pushes the Figure 6 sweep to N = 10⁴ within
+        the test-suite time budget, and routes still grow poly-log."""
+        rng = RandomSource(41)
+        positions = generate_objects(UniformDistribution(), 10_000, rng)
+        points = sweep_overlay_sizes(positions, [2500, 5000, 10_000], rng,
+                                     num_pairs=150, use_bulk_load=True)
+        assert [p.size for p in points] == [2500, 5000, 10_000]
+        assert all(p.stats.samples == 150 for p in points)
+        assert all(p.stats.failures == 0 for p in points)
+        growth = points[-1].mean_hops / points[0].mean_hops
+        assert growth < math.sqrt(10_000 / 2500)
+
+    def test_bulk_load_sweep_measures_same_structure(self):
+        """At equal seeds, bulk-grown and join-grown sweeps route over the
+        same Voronoi/close structure (long links differ only in draw order),
+        so their mean hop counts agree closely."""
+        positions = generate_objects(UniformDistribution(), 600,
+                                     RandomSource(43))
+        means = {}
+        for use_bulk_load in (False, True):
+            points = sweep_overlay_sizes(
+                positions, [300, 600], RandomSource(44), num_pairs=200,
+                use_bulk_load=use_bulk_load)
+            means[use_bulk_load] = points[-1].mean_hops
+        assert means[True] == pytest.approx(means[False], rel=0.25)
+
+
 class TestLongLinkCount:
     def test_more_long_links_shorten_routes(self):
         """Figure 8: increasing k consistently improves routing."""

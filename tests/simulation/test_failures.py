@@ -101,3 +101,40 @@ class TestCrashInjector:
         for _ in range(10):
             a, b = numpy_rng.choice(ids, size=2, replace=False)
             assert overlay.route(int(a), int(b)).success
+
+    def test_crash_drops_locate_grid_entries(self, overlay, numpy_rng):
+        """Regression: the grid is substrate state — crashed ids must leave
+        it, or lookups enter the overlay at a dead peer and explode.
+
+        Greedy descent may still hit a survivor's dangling view entry
+        before :meth:`repair` runs (the documented crash damage); what the
+        grid guarantees is a *live entry point*, and full lookups once the
+        anti-entropy pass has scrubbed the views."""
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        crashed = set(injector.crash_random(15))
+        assert all(object_id not in overlay.locate_index
+                   for object_id in crashed)
+        assert len(overlay.locate_index) == len(overlay)
+        points = numpy_rng.random((50, 2))
+        for point in points:
+            assert overlay.query_entry_point(tuple(point)) not in crashed
+        injector.repair()
+        for point in points:
+            result = overlay.lookup(tuple(point))
+            assert result.owner not in crashed
+
+    def test_crash_invalidates_warmed_routing_tables(self, overlay, numpy_rng):
+        """Regression: crashes bypass VoroNet.remove, but must still bump
+        the topology epoch — otherwise warmed routing tables keep serving
+        crashed ids as forwarding candidates."""
+        for object_id in overlay.object_ids():
+            overlay.routing_table(object_id)  # warm every table
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        crashed = set(injector.crash_random(10))
+        injector.repair()
+        ids = overlay.object_ids()
+        for _ in range(50):
+            a, b = numpy_rng.choice(ids, size=2, replace=False)
+            result = overlay.route(int(a), int(b))
+            assert result.success
+            assert result.owner not in crashed
