@@ -8,7 +8,6 @@ directly in ``pytest-benchmark``'s timing statistics.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import VoroNet, VoroNetConfig

@@ -8,7 +8,7 @@ logs (`pytest benchmarks/ --benchmark-only -s`) and recorded verbatim in
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence
 
 __all__ = ["ascii_histogram", "ascii_series", "format_table"]
 

@@ -18,7 +18,7 @@ is documented where the constant is defined.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 __all__ = ["VoroNetConfig", "DEFAULT_N_MAX"]
@@ -70,6 +70,14 @@ class VoroNetConfig:
         cache on or off — only the per-hop constant factor changes; the
         switch exists so parity tests and benchmarks can compare the two
         paths on the same overlay structure.
+    use_node_routing_cache:
+        Protocol-mode analogue of ``use_routing_cache``: each
+        :class:`~repro.simulation.protocol.ProtocolNode` serves greedy
+        forwarding from a flat candidate block cached against its local
+        view epoch (bumped by every view-mutating message handler) instead
+        of assembling a candidate dict per hop.  Answers and hop counts are
+        identical either way; disable to keep the per-hop assembly baseline
+        for parity tests.
     track_paths:
         Record full routing paths in :class:`~repro.core.routing.RouteResult`
         objects (memory-heavier; useful for debugging and examples).
@@ -86,6 +94,7 @@ class VoroNetConfig:
     allow_overflow: bool = False
     use_locate_index: bool = True
     use_routing_cache: bool = True
+    use_node_routing_cache: bool = True
     track_paths: bool = False
     seed: Optional[int] = None
 

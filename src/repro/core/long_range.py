@@ -19,7 +19,7 @@ by the maintenance procedures as objects join and leave.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

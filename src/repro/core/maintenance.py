@@ -19,7 +19,7 @@ Message accounting follows the paper:
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, TYPE_CHECKING
+from typing import List, TYPE_CHECKING
 
 from repro.core.neighbors import compute_close_neighbors, register_close_neighbors
 from repro.core.node import BackLink

@@ -12,8 +12,8 @@ neighbours' local knowledge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, TYPE_CHECKING
 
 from repro.geometry.point import Point, distance
 

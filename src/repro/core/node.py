@@ -20,7 +20,7 @@ local copies instead, as a real deployment would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.geometry.point import Point
 

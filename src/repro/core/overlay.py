@@ -706,7 +706,7 @@ class VoroNet:
         flat = targets.reshape(-1, 2)
         flat_targets = [(float(x), float(y)) for x, y in flat]
         endpoints = self._triangulation.nearest_vertices(
-            flat_targets, hints=[locate.hint(t) for t in flat_targets])
+            flat_targets, hints=locate.hints(flat_targets))
         for i, object_id in enumerate(ids):
             node = self._nodes[object_id]
             for index in range(k):

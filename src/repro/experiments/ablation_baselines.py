@@ -17,7 +17,7 @@ Compares greedy routing on the same object placement across:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

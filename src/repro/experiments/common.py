@@ -3,8 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 from repro.core import VoroNet, VoroNetConfig
 from repro.utils.rng import RandomSource

@@ -53,7 +53,8 @@ import numpy as np
 from repro.geometry.point import Point
 from repro.geometry.predicates import incircle, orient2d, segment_contains
 
-__all__ = ["DelaunayTriangulation", "DuplicatePointError", "INFINITE_VERTEX"]
+__all__ = ["DelaunayTriangulation", "DuplicatePointError", "INFINITE_VERTEX",
+           "morton_order"]
 
 #: Sentinel id of the vertex at infinity used by ghost triangles.
 INFINITE_VERTEX = -1
@@ -77,7 +78,7 @@ class TriangulationCorruptionError(RuntimeError):
     """Raised by :meth:`DelaunayTriangulation.validate` on invariant violation."""
 
 
-def _morton_order(points: Sequence[Point]) -> List[int]:
+def morton_order(points: Sequence[Point]) -> List[int]:
     """Indices of ``points`` sorted along a Morton (Z-order) curve.
 
     Coordinates are normalised to the batch's bounding box and quantised to
@@ -424,7 +425,7 @@ class DelaunayTriangulation:
             if p in first_index:
                 raise DuplicatePointError(p, ids[first_index[p]])
             first_index[p] = index
-        for index in _morton_order(pts):
+        for index in morton_order(pts):
             vid = ids[index]
             if self._has_triangulation:
                 # Already validated above: bypass insert()'s re-checks and

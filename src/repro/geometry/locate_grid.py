@@ -148,6 +148,15 @@ class LocateGrid:
                 return best
         return next(iter(self._points))  # pragma: no cover - defensive
 
+    def hints(self, points: Iterable[Point]) -> List[Optional[int]]:
+        """Batched :meth:`hint`: one near-nearest seed per query point.
+
+        The batched form used by bulk link resolution and the protocol
+        simulator's ``bulk_join``; results are identical to per-point
+        :meth:`hint` calls.
+        """
+        return [self.hint(point) for point in points]
+
     def _ring(self, cx: int, cy: int, radius: int) -> Iterable[Tuple[int, int]]:
         """Cells at Chebyshev distance ``radius`` from ``(cx, cy)``, in-grid."""
         m = self._cells_per_axis

@@ -18,7 +18,7 @@ from __future__ import annotations
 import math
 from enum import IntEnum
 from fractions import Fraction
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.geometry.point import Point
 

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.geometry.bounding import UNIT_SQUARE, BoundingBox, clip_polygon_to_box, polygon_area
 from repro.geometry.delaunay import INFINITE_VERTEX, DelaunayTriangulation
-from repro.geometry.point import Point, distance
+from repro.geometry.point import Point
 from repro.geometry.predicates import circumcenter
 
 __all__ = ["VoronoiCell", "voronoi_cell", "voronoi_cells"]

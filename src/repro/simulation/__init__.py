@@ -10,6 +10,28 @@ local view and every exchanged message is explicit.  The oracle-mode
 overlay in :mod:`repro.core` is the fast path used for large parameter
 sweeps; this package is what validates its decentralisation and
 maintenance-cost claims.
+
+Scaling protocol-mode experiments
+---------------------------------
+Two mechanisms let the message-level simulator reach the overlay sizes the
+oracle handles:
+
+* **Batched construction** — ``ProtocolSimulator.bulk_join(positions)``
+  builds an overlay through the pipelined message phases (Morton-sorted
+  ``ADD_OBJECT`` carving from locate-grid hinted introducers, a
+  back-registration hand-over pass, grid-exact close discovery, and
+  grid-seeded long-link searches) instead of running every join to
+  quiescence.  It returns a ``BulkJoinReport`` with per-phase message
+  counts; the resulting per-node views are identical to
+  ``VoroNet.bulk_load`` on the same positions and seed.  Use it to build
+  the population, then drive sequential ``join``/``leave``/``query``
+  probes for paper-faithful per-operation costs.
+* **Per-node routing cache** — each ``ProtocolNode`` serves greedy
+  forwarding from a flat candidate block cached against its local view
+  epoch, the protocol-mode analogue of the oracle's epoch-cached routing
+  tables.  ``VoroNetConfig.use_node_routing_cache`` (default ``True``)
+  switches back to per-hop candidate-dict assembly for parity testing;
+  answers and hop counts are identical either way.
 """
 
 from repro.simulation.engine import SimulationEngine
@@ -24,6 +46,7 @@ from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.failures import ChurnScheduler, CrashInjector
 from repro.simulation.protocol import (
+    BulkJoinReport,
     JoinReport,
     LeaveReport,
     ProtocolSimulator,
@@ -42,6 +65,7 @@ __all__ = [
     "ChurnScheduler",
     "CrashInjector",
     "ProtocolSimulator",
+    "BulkJoinReport",
     "JoinReport",
     "LeaveReport",
     "QueryReport",

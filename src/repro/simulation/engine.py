@@ -56,6 +56,17 @@ class SimulationEngine:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def quiescent(self) -> bool:
+        """Whether no runnable (non-cancelled) event is pending.
+
+        Batched operations such as the protocol simulator's ``bulk_join``
+        use this as a precondition: their phase barriers assume each
+        ``run()`` drained *their* messages, which only holds when nothing
+        unrelated was in flight to begin with.
+        """
+        return not any(not event.cancelled for event in self._queue)
+
     def schedule(self, delay: float, action: Callable[[], None],
                  label: Optional[str] = None) -> Event:
         """Schedule ``action`` to run ``delay`` time units from now."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Callable, Optional
 
 __all__ = ["Event"]
 

@@ -14,8 +14,8 @@ Two injectors drive dynamism experiments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.core.overlay import VoroNet
 from repro.geometry.point import Point

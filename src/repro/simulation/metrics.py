@@ -8,7 +8,7 @@ registry can be serialised (e.g. into benchmark JSON) without ceremony.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -72,6 +72,12 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the named histogram."""
         self._histograms.setdefault(name, _Histogram()).add(value)
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        """Record a batch of observations into the named histogram."""
+        histogram = self._histograms.setdefault(name, _Histogram())
+        for value in values:
+            histogram.add(value)
 
     def histogram_values(self, name: str) -> List[float]:
         """Raw observations of a histogram (empty when unknown)."""

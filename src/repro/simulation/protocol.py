@@ -20,6 +20,31 @@ paper.  What the simulation therefore measures faithfully is the paper's
 own cost model: hops per routed operation and messages per maintenance
 operation.
 
+Batched construction (:meth:`ProtocolSimulator.bulk_join`)
+----------------------------------------------------------
+Sequential :meth:`ProtocolSimulator.join` runs every join to quiescence —
+N routed ``ADD_OBJECT`` walks from random introducers, N routed long-link
+searches — which caps protocol-mode experiments well below the overlay
+sizes the oracle reaches with :meth:`~repro.core.overlay.VoroNet.bulk_load`.
+:meth:`ProtocolSimulator.bulk_join` is the message-level mirror of that
+fast path: the batch is Morton-sorted, ``ADD_OBJECT`` routing is seeded
+from the simulator's :class:`~repro.geometry.locate_grid.LocateGrid` (the
+introducer is already next to the new region), and the protocol phases are
+pipelined across the whole batch — one engine drain per phase instead of
+one per join.  Every message is still explicit and counted; what the batch
+removes is the per-join quiescence barriers, the poly-log routing walks,
+and the repeated view snapshots a node receives while its neighbourhood
+fills in (each recipient gets its final view exactly once).
+
+Per-node routing cache
+----------------------
+Greedy forwarding reads each node's candidates from a lazily built flat
+``(id, x, y)`` block cached against the node's :attr:`ProtocolNode.view_epoch`,
+which every view-mutating message handler bumps — the protocol-mode
+analogue of the oracle's epoch-cached routing tables.  The
+``use_node_routing_cache`` configuration switch keeps the per-hop dict
+assembly baseline for parity tests; answers are identical either way.
+
 The oracle-mode overlay (:class:`repro.core.overlay.VoroNet`) is the fast
 path for large sweeps; integration tests check that both executions produce
 the same neighbour structure on identical inputs.
@@ -27,21 +52,34 @@ the same neighbour structure on identical inputs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import VoroNetConfig
-from repro.core.long_range import choose_long_range_target
-from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
-from repro.geometry.point import Point, distance, distance_sq
+from repro.core.long_range import choose_long_range_target, choose_long_range_target_array
+from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError, morton_order
+from repro.geometry.locate_grid import LocateGrid
+from repro.geometry.point import Point, distance
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.network import ConstantLatency, LatencyModel, Message, Network
 from repro.simulation.trace import TraceRecorder
 from repro.utils.rng import RandomSource
 
-__all__ = ["ProtocolSimulator", "ProtocolNode", "JoinReport", "LeaveReport", "QueryReport"]
+__all__ = ["ProtocolSimulator", "ProtocolNode", "JoinReport", "LeaveReport",
+           "QueryReport", "BulkJoinReport"]
+
+#: Default number of ``ADD_OBJECT`` sends pipelined between engine drains in
+#: :meth:`ProtocolSimulator.bulk_join`.  View snapshots are deferred to the
+#: dedicated views phase, so routing during the carve runs over pre-batch
+#: views either way (harmless: a stale view only shortens the walk to
+#: wherever the hint landed, the kernel carve is exact); what the drain
+#: between chunks refreshes is the locate grid, keeping the next chunk's
+#: introducer hints O(1) from their targets, and it bounds how many
+#: messages sit in flight at once.
+DEFAULT_BULK_CHUNK = 128
 
 
 # ----------------------------------------------------------------------
@@ -54,6 +92,23 @@ class JoinReport:
     object_id: int
     routing_hops: int
     messages: int
+    virtual_time: float
+
+
+@dataclass(frozen=True)
+class BulkJoinReport:
+    """Cost of one batched distributed construction.
+
+    ``phase_messages`` breaks the total down by protocol phase
+    (``carve`` / ``views`` / ``handover`` / ``close`` / ``long_links``);
+    the same counts are recorded in the simulator's trace as
+    ``bulk_join_phase`` records and aggregated into the
+    ``bulk_join_messages`` histogram.
+    """
+
+    object_ids: List[int]
+    messages: int
+    phase_messages: Dict[str, int]
     virtual_time: float
 
 
@@ -88,7 +143,15 @@ class _LocalLongLink:
 
 @dataclass
 class ProtocolNode:
-    """One object and its strictly local view."""
+    """One object and its strictly local view.
+
+    ``view_epoch`` counts local view mutations: every message handler that
+    changes the view bumps it (via :meth:`touch_view`), invalidating the
+    node's cached flat routing block.  ``view_version`` tracks the newest
+    kernel version whose snapshot this node has applied, so a view update
+    overtaken in flight (possible under non-FIFO latency models and the
+    pipelined bulk join) can never overwrite a fresher one.
+    """
 
     object_id: int
     position: Point
@@ -99,10 +162,19 @@ class ProtocolNode:
     back_links: Dict[Tuple[int, int], Point] = field(default_factory=dict)
     pending_close_replies: int = 0
     pending_long_links: int = 0
+    view_epoch: int = 0
+    view_version: int = -1
+    _block_epoch: int = field(default=-1, repr=False, init=False)
+    _block: Optional[List[Tuple[int, float, float]]] = field(default=None, repr=False,
+                                                             init=False)
 
     # ------------------------------------------------------------------
     # view helpers
     # ------------------------------------------------------------------
+    def touch_view(self) -> None:
+        """Mark the local view changed, invalidating the cached routing block."""
+        self.view_epoch += 1
+
     def routing_candidates(self) -> Dict[int, Point]:
         """Every neighbour usable for greedy forwarding, with its position."""
         candidates: Dict[int, Point] = {}
@@ -114,14 +186,35 @@ class ProtocolNode:
         candidates.pop(self.object_id, None)
         return candidates
 
+    def routing_block(self) -> List[Tuple[int, float, float]]:
+        """Flat ``(id, x, y)`` forwarding candidates, cached per view epoch.
+
+        Rebuilt lazily from :meth:`routing_candidates` whenever the view
+        epoch moved, so the block is always equal to the freshly assembled
+        candidate dict — the invariant the protocol-level cache tests pin.
+        """
+        if self._block is None or self._block_epoch != self.view_epoch:
+            self._block = [(neighbor, position[0], position[1])
+                           for neighbor, position in self.routing_candidates().items()]
+            self._block_epoch = self.view_epoch
+        return self._block
+
     def greedy_next_hop(self, target: Point) -> Optional[int]:
         """Neighbour strictly closer to ``target`` than this node, if any."""
+        tx, ty = target
+        px, py = self.position
         best = None
-        best_d = distance_sq(self.position, target)
-        for neighbor, neighbor_position in self.routing_candidates().items():
-            d = distance_sq(neighbor_position, target)
-            if d < best_d:
-                best, best_d = neighbor, d
+        best_d = (px - tx) * (px - tx) + (py - ty) * (py - ty)
+        if self.simulator.config.use_node_routing_cache:
+            for neighbor, x, y in self.routing_block():
+                d = (x - tx) * (x - tx) + (y - ty) * (y - ty)
+                if d < best_d:
+                    best, best_d = neighbor, d
+        else:
+            for neighbor, (x, y) in self.routing_candidates().items():
+                d = (x - tx) * (x - tx) + (y - ty) * (y - ty)
+                if d < best_d:
+                    best, best_d = neighbor, d
         return best
 
     def view_size(self) -> int:
@@ -150,12 +243,21 @@ class ProtocolNode:
         # This node owns the region containing the new object: carve it out.
         self.simulator.complete_insertion(owner=self, new_id=payload["new_id"],
                                           position=target,
-                                          routing_hops=payload["hops"])
+                                          routing_hops=payload["hops"],
+                                          bulk=payload.get("bulk", False))
 
     # ---------------- join phase 2: new node bootstraps ---------------
     def _on_create_object(self, message: Message) -> None:
         payload = message.payload
-        self.voronoi = dict(payload["voronoi"])
+        version = payload.get("version", self.view_version)
+        if version >= self.view_version:
+            self.voronoi = dict(payload["voronoi"])
+            self.view_version = version
+            self.touch_view()
+        if payload.get("bulk"):
+            # bulk_join drives close discovery and long links as its own
+            # pipelined phases; the view snapshot is all this message carries.
+            return
         # Close-neighbour discovery (Lemma 1): ask every Voronoi neighbour.
         if self.simulator.config.maintain_close_neighbors and self.voronoi:
             self.pending_close_replies = len(self.voronoi)
@@ -183,6 +285,7 @@ class ProtocolNode:
         for oid, pos in message.payload["candidates"].items():
             if oid != self.object_id and distance(pos, self.position) <= d_min:
                 self.close[oid] = pos
+        self.touch_view()
         self.pending_close_replies -= 1
         if self.pending_close_replies == 0:
             for neighbor in list(self.close):
@@ -192,9 +295,11 @@ class ProtocolNode:
 
     def _on_close_declare(self, message: Message) -> None:
         self.close[message.sender] = message.payload["position"]
+        self.touch_view()
 
     def _on_close_leave(self, message: Message) -> None:
         self.close.pop(message.sender, None)
+        self.touch_view()
 
     # ---------------- join phase 3: long links ------------------------
     def _start_long_link_phase(self) -> None:
@@ -213,6 +318,7 @@ class ProtocolNode:
             self.simulator.send(self, self.object_id, "SEARCH_LONG_LINK",
                                 {"target": target, "requester": self.object_id,
                                  "link_index": index, "hops": 0})
+        self.touch_view()
 
     def _on_search_long_link(self, message: Message) -> None:
         payload = message.payload
@@ -224,6 +330,7 @@ class ProtocolNode:
         # This node owns the target's region: it becomes the long-range contact.
         requester = payload["requester"]
         self.back_links[(requester, payload["link_index"])] = target
+        self.touch_view()
         self.simulator.send(self, requester, "LONG_LINK_ESTABLISHED",
                             {"link_index": payload["link_index"],
                              "neighbor": self.object_id,
@@ -235,6 +342,7 @@ class ProtocolNode:
         link = self.long_links[payload["link_index"]]
         link.neighbor = payload["neighbor"]
         link.neighbor_position = payload["neighbor_position"]
+        self.touch_view()
         self.simulator.metrics.observe("long_link_hops", payload["hops"])
         self.pending_long_links -= 1
         if self.pending_long_links == 0:
@@ -243,7 +351,14 @@ class ProtocolNode:
     # ---------------- maintenance updates ------------------------------
     def _on_region_update(self, message: Message) -> None:
         payload = message.payload
-        self.voronoi = dict(payload["voronoi"])
+        version = payload.get("version", self.view_version)
+        if version >= self.view_version:
+            self.voronoi = dict(payload["voronoi"])
+            self.view_version = version
+            self.touch_view()
+        # An overtaken snapshot (possible under non-FIFO latency models)
+        # must not roll the view back — but the back-registration steal
+        # below compares positions, not snapshots, so it runs either way.
         new_id = payload.get("new_id")
         new_position = payload.get("new_position")
         if new_id is None:
@@ -262,10 +377,13 @@ class ProtocolNode:
             self.simulator.send(self, source, "LONG_LINK_RETARGET",
                                 {"link_index": link_index, "neighbor": new_id,
                                  "neighbor_position": new_position})
+        if stolen:
+            self.touch_view()
 
     def _on_backlink_transfer(self, message: Message) -> None:
         payload = message.payload
         self.back_links[(payload["source"], payload["link_index"])] = payload["target"]
+        self.touch_view()
 
     def _on_long_link_retarget(self, message: Message) -> None:
         payload = message.payload
@@ -273,10 +391,12 @@ class ProtocolNode:
         if index < len(self.long_links):
             self.long_links[index].neighbor = payload["neighbor"]
             self.long_links[index].neighbor_position = payload["neighbor_position"]
+            self.touch_view()
 
     def _on_backlink_remove(self, message: Message) -> None:
         payload = message.payload
         self.back_links.pop((payload["source"], payload["link_index"]), None)
+        self.touch_view()
 
     # ---------------- queries ------------------------------------------
     def _on_query(self, message: Message) -> None:
@@ -329,10 +449,12 @@ class ProtocolSimulator:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.rng = RandomSource(seed if seed is not None else self.config.seed)
         self.kernel = DelaunayTriangulation()
+        self.locate = LocateGrid()
         self.nodes: Dict[int, ProtocolNode] = {}
         self._next_id = 0
         self._last_routing_hops = 0
         self._last_query_answer: Optional[Dict] = None
+        self._bulk_owners: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # plumbing used by nodes
@@ -372,19 +494,25 @@ class ProtocolSimulator:
         """The local state of one object."""
         return self.nodes[object_id]
 
+    def _attach_node(self, object_id: int, position: Point) -> ProtocolNode:
+        """Create a node's local state and register its message handler."""
+        node = ProtocolNode(object_id=object_id, position=position, simulator=self)
+        self.nodes[object_id] = node
+        self.network.register(object_id, node.handle)
+        return node
+
     def join(self, position: Point, introducer: Optional[int] = None) -> JoinReport:
         """Publish an object through the full distributed join protocol."""
         position = (float(position[0]), float(position[1]))
         object_id = self._next_id
         self._next_id += 1
-        node = ProtocolNode(object_id=object_id, position=position, simulator=self)
-        self.nodes[object_id] = node
-        self.network.register(object_id, node.handle)
+        self._attach_node(object_id, position)
         before = self.network.messages_sent
 
         if len(self.nodes) == 1:
             # First object: nothing to route, no neighbours to discover.
             self.kernel.insert(position, vertex_id=object_id)
+            self.locate.insert(object_id, position)
             self.metrics.increment("joins")
             return JoinReport(object_id=object_id, routing_hops=0, messages=0,
                               virtual_time=self.engine.now)
@@ -405,8 +533,221 @@ class ProtocolSimulator:
                           routing_hops=self._last_routing_hops,
                           messages=messages, virtual_time=self.engine.now)
 
+    def bulk_join(self, positions: Sequence[Point], *,
+                  chunk_size: Optional[int] = None) -> BulkJoinReport:
+        """Publish a batch of objects through the batched message pipeline.
+
+        The message-level mirror of :meth:`VoroNet.bulk_load
+        <repro.core.overlay.VoroNet.bulk_load>`: instead of running each
+        join to quiescence, the batch moves through five pipelined phases,
+        each drained once by the event engine:
+
+        1. **carve** — the batch is Morton-sorted and, ``chunk_size`` sends
+           at a time, routed as ``ADD_OBJECT`` messages from locate-grid
+           hinted introducers (already adjacent to the new region, so the
+           routing walk is O(1) expected hops); region owners carve the
+           kernel but defer view snapshots to the next phase — a join run
+           to quiescence resends a node's view on every insertion touching
+           it, which a batch attach consolidates away;
+        2. **views** — every batch object receives its final view in one
+           version-stamped ``CREATE_OBJECT`` from the owner that carved its
+           region, and every pre-existing object bordering the batch
+           receives one consolidated ``REGION_UPDATE``;
+        3. **handover** — pre-existing back-long-range registrations whose
+           target a batch object now owns are transferred and their sources
+           re-pointed (``BACKLINK_TRANSFER`` / ``LONG_LINK_RETARGET``), the
+           batched equivalent of the per-join steal in ``REGION_UPDATE``;
+        4. **close** — every batch object discovers its close neighbours by
+           an exact locate-grid radius query (producing the very sets
+           Lemma 1's routed discovery would) and declares itself to each
+           with one counted ``CLOSE_DECLARE``;
+        5. **long_links** — Choose-LRT targets for the whole batch come
+           from one vectorised draw, and each ``SEARCH_LONG_LINK`` is sent
+           straight to a locate-grid seed next to its target, finishing in
+           O(1) greedy hops at the exact region owner.
+
+        The resulting per-node views are identical to the oracle's
+        ``bulk_load`` on the same positions and seed (the integration suite
+        asserts views, close sets and long links), and
+        :meth:`verify_views` stays clean.  Ids are assigned in input order.
+
+        Raises
+        ------
+        ValueError
+            When protocol messages are still in flight (the engine must be
+            quiescent so the phase barriers drain only this batch), on a
+            position duplicating a published object or another batch entry
+            (checked up front; nothing is mutated), or on a non-positive
+            ``chunk_size``.
+        """
+        batch = [(float(p[0]), float(p[1])) for p in positions]
+        if not batch:
+            return BulkJoinReport(object_ids=[], messages=0, phase_messages={},
+                                  virtual_time=self.engine.now)
+        if not self.engine.quiescent:
+            raise ValueError("bulk_join requires a quiescent engine "
+                             "(pending protocol messages in flight)")
+        if chunk_size is None:
+            chunk_size = DEFAULT_BULK_CHUNK
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        seen: set = set()
+        for point in batch:
+            existing = self.kernel.vertex_at(point)
+            if existing is not None:
+                raise ValueError(
+                    f"position {point} duplicates published object {existing}")
+            if point in seen:
+                raise ValueError(f"position {point} appears twice in the batch")
+            seen.add(point)
+
+        had_existing = bool(self.nodes)
+        ids = list(range(self._next_id, self._next_id + len(batch)))
+        self._next_id = ids[-1] + 1
+        before_all = self.network.messages_sent
+        phase_messages: Dict[str, int] = {}
+
+        # ---- phase 1: region carving (chunked ADD_OBJECT pipeline) ----
+        snapshot = self.network.messages_sent
+        order = morton_order(batch)
+        self._bulk_owners = {}
+        start = 0
+        if not self.nodes:
+            # Bootstrap exactly like the sequential first join: direct
+            # insertion, no messages (its long links come from phase 5).
+            first = order[0]
+            self._attach_node(ids[first], batch[first])
+            self.kernel.insert(batch[first], vertex_id=ids[first])
+            self.locate.insert(ids[first], batch[first])
+            self._bulk_owners[ids[first]] = ids[first]
+            start = 1
+        for chunk_start in range(start, len(order), chunk_size):
+            for index in order[chunk_start:chunk_start + chunk_size]:
+                object_id, position = ids[index], batch[index]
+                self._attach_node(object_id, position)
+                introducer = self.locate.hint(position)
+                starter = self.nodes[introducer]
+                self.send(starter, introducer, "ADD_OBJECT",
+                          {"new_id": object_id, "position": position,
+                           "hops": 0, "bulk": True})
+            self.engine.run()
+        phase_messages["carve"] = self.network.messages_sent - snapshot
+
+        # ---- phase 2: consolidated view distribution --------------------
+        # A sequential join resends a node's view on every insertion that
+        # touches it; the batch attach sends each recipient its *final*
+        # view exactly once.  New objects hear from the owner that carved
+        # their region; pre-existing objects bordering the batch hear from
+        # one of their new neighbours.
+        snapshot = self.network.messages_sent
+        version = self.kernel.version
+        new_ids = set(ids)
+        affected: Dict[int, int] = {}
+        for object_id in ids:
+            neighbors = self.kernel.neighbors(object_id)
+            owner = self._bulk_owners.get(object_id, object_id)
+            view = {nid: self.kernel.point(nid) for nid in neighbors}
+            self.send(self.nodes[owner], object_id, "CREATE_OBJECT",
+                      {"voronoi": view, "version": version, "bulk": True})
+            for neighbor_id in neighbors:
+                if neighbor_id not in new_ids and neighbor_id in self.nodes:
+                    affected[neighbor_id] = object_id
+        for neighbor_id, sender_id in affected.items():
+            view = {nid: self.kernel.point(nid)
+                    for nid in self.kernel.neighbors(neighbor_id)}
+            self.send(self.nodes[sender_id], neighbor_id, "REGION_UPDATE",
+                      {"voronoi": view, "version": version})
+        self.engine.run()
+        phase_messages["views"] = self.network.messages_sent - snapshot
+
+        # ---- phase 3: back-registration hand-over ----------------------
+        # Bulk-mode REGION_UPDATEs carry no ``new_id`` (pipelined steals
+        # could race each other under interleaved insertions), so settle
+        # every pre-existing registration once against the final
+        # tessellation — the batched equivalent of the per-join steal.
+        # Not gated on maintain_back_links: the message-level handlers
+        # register and steal back links unconditionally (the ablation flag
+        # is honoured by the oracle overlay only), so a populated overlay
+        # always has registrations to settle.
+        if had_existing:
+            snapshot = self.network.messages_sent
+            for holder_id, holder in self.nodes.items():
+                if holder_id in new_ids or not holder.back_links:
+                    continue
+                for (source, link_index), target in list(holder.back_links.items()):
+                    owner = self.kernel.nearest_vertex(target, hint=holder_id)
+                    if owner == holder_id:
+                        continue
+                    holder.back_links.pop((source, link_index))
+                    holder.touch_view()
+                    self.send(holder, owner, "BACKLINK_TRANSFER",
+                              {"source": source, "link_index": link_index,
+                               "target": target})
+                    self.send(holder, source, "LONG_LINK_RETARGET",
+                              {"link_index": link_index, "neighbor": owner,
+                               "neighbor_position": self.nodes[owner].position})
+            self.engine.run()
+            phase_messages["handover"] = self.network.messages_sent - snapshot
+
+        # ---- phase 4: close neighbours ---------------------------------
+        if self.config.maintain_close_neighbors:
+            snapshot = self.network.messages_sent
+            d_min = self.config.effective_d_min
+            for object_id in ids:
+                node = self.nodes[object_id]
+                found = False
+                for close_id in self.locate.within(node.position, d_min):
+                    if close_id == object_id:
+                        continue
+                    node.close[close_id] = self.nodes[close_id].position
+                    found = True
+                    self.send(node, close_id, "CLOSE_DECLARE",
+                              {"position": node.position})
+                if found:
+                    node.touch_view()
+            self.engine.run()
+            phase_messages["close"] = self.network.messages_sent - snapshot
+
+        # ---- phase 5: long links ---------------------------------------
+        k = self.config.num_long_links
+        if k > 0:
+            snapshot = self.network.messages_sent
+            targets = choose_long_range_target_array(
+                np.asarray(batch, dtype=np.float64),
+                self.config.effective_d_min, k, self.rng)
+            flat = targets.reshape(-1, 2)
+            for i, object_id in enumerate(ids):
+                node = self.nodes[object_id]
+                node.pending_long_links = k
+                for index in range(k):
+                    target = (float(flat[i * k + index][0]),
+                              float(flat[i * k + index][1]))
+                    node.long_links.append(_LocalLongLink(
+                        target=target, neighbor=object_id,
+                        neighbor_position=node.position))
+                    seed = self.locate.hint(target)
+                    self.send(node, seed, "SEARCH_LONG_LINK",
+                              {"target": target, "requester": object_id,
+                               "link_index": index, "hops": 0})
+                node.touch_view()
+            self.engine.run()
+            phase_messages["long_links"] = self.network.messages_sent - snapshot
+
+        self.metrics.increment("joins", len(ids))
+        messages = self.network.messages_sent - before_all
+        self.metrics.observe("bulk_join_messages", messages)
+        self.metrics.observe_many(
+            "view_size", [self.nodes[oid].view_size() for oid in ids])
+        for phase, count in phase_messages.items():
+            self.trace.record(self.engine.now, "bulk_join_phase",
+                              phase=phase, messages=count, objects=len(ids))
+        return BulkJoinReport(object_ids=ids, messages=messages,
+                              phase_messages=phase_messages,
+                              virtual_time=self.engine.now)
+
     def complete_insertion(self, owner: ProtocolNode, new_id: int,
-                           position: Point, routing_hops: int) -> None:
+                           position: Point, routing_hops: int,
+                           bulk: bool = False) -> None:
         """Region owner's ``AddVoronoiRegion``: carve the region, notify views."""
         self._last_routing_hops = routing_hops
         try:
@@ -416,20 +757,33 @@ class ProtocolSimulator:
             self.network.unregister(new_id)
             del self.nodes[new_id]
             return
+        self.locate.insert(new_id, position)
+        if bulk:
+            # Bulk joins distribute consolidated final views, settle back
+            # registrations and establish long links in their own phases;
+            # the carve phase only places the region and remembers who
+            # carved it (the sender of the eventual CREATE_OBJECT).
+            self._bulk_owners[new_id] = owner.object_id
+            self.metrics.observe("bulk_join_routing_hops", routing_hops)
+            return
         affected = set(self.kernel.neighbors(new_id))
-        if len(self.nodes) <= 8:
+        if len(self.kernel) <= 8 or not self.kernel.has_triangulation:
             # Bootstrapping a (near-)degenerate tessellation can change
-            # adjacency beyond the immediate neighbourhood; refresh everyone.
-            affected = set(self.nodes) - {new_id}
+            # adjacency beyond the immediate neighbourhood; refresh every
+            # vertex the kernel holds.
+            affected = set(self.kernel.vertex_ids()) - {new_id}
+        version = self.kernel.version
         new_view = {nid: self.kernel.point(nid) for nid in self.kernel.neighbors(new_id)}
-        self.send(owner, new_id, "CREATE_OBJECT", {"voronoi": new_view})
+        self.send(owner, new_id, "CREATE_OBJECT",
+                  {"voronoi": new_view, "version": version})
         for neighbor_id in affected:
             if neighbor_id == new_id or neighbor_id not in self.nodes:
                 continue
             view = {nid: self.kernel.point(nid)
                     for nid in self.kernel.neighbors(neighbor_id)}
             self.send(owner, neighbor_id, "REGION_UPDATE",
-                      {"voronoi": view, "new_id": new_id, "new_position": position})
+                      {"voronoi": view, "version": version,
+                       "new_id": new_id, "new_position": position})
 
     def leave(self, object_id: int) -> LeaveReport:
         """Withdraw an object through the distributed departure protocol."""
@@ -440,16 +794,19 @@ class ProtocolSimulator:
         former_neighbors = [nid for nid in self.kernel.neighbors(object_id)
                             if nid in self.nodes and nid != object_id]
         self.kernel.remove(object_id)
+        self.locate.discard(object_id)
+        version = self.kernel.version
         affected = set(former_neighbors)
-        if len(self.nodes) <= 8:
-            affected = set(self.nodes) - {object_id}
+        if len(self.kernel) <= 8 or not self.kernel.has_triangulation:
+            affected = set(self.kernel.vertex_ids())
         # 1. Region updates to the neighbours inheriting the region.
         for neighbor_id in affected:
             if neighbor_id not in self.nodes:
                 continue
             view = {nid: self.kernel.point(nid)
                     for nid in self.kernel.neighbors(neighbor_id)}
-            self.send(node, neighbor_id, "REGION_UPDATE", {"voronoi": view})
+            self.send(node, neighbor_id, "REGION_UPDATE",
+                      {"voronoi": view, "version": version})
         # 2. Close-neighbour notifications.
         for close_id in list(node.close):
             if close_id in self.nodes:

@@ -73,6 +73,13 @@ class TraceRecorder:
         """Number of records of the given kind."""
         return sum(1 for r in self._records if r.kind == kind)
 
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        """The most recent record of the given kind, or ``None``."""
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None
+
     def clear(self) -> None:
         """Drop every record."""
         self._records.clear()

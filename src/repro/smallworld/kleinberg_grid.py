@@ -15,9 +15,8 @@ reference for the navigability sweep in :mod:`repro.smallworld.navigability`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from repro.smallworld.link_distribution import sample_grid_long_range_contact
 from repro.utils.rng import RandomSource

@@ -17,7 +17,7 @@ with :mod:`repro.core.long_range` (re-exported there in overlay terms).
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ benchmark (ABL3) use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.geometry.point import Point
 from repro.utils.rng import RandomSource

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -2,15 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.geometry.bounding import BoundingBox
 from repro.geometry.point import Point
 from repro.utils.rng import RandomSource
-from repro.workloads.distributions import ObjectDistribution, UniformDistribution
+from repro.workloads.distributions import ObjectDistribution
 
 __all__ = [
     "generate_objects",

@@ -2,12 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.hops import HopStatistics, measure_routing, sweep_overlay_sizes
 from repro.analysis.regression import fit_polylog_exponent
-from repro.core import VoroNet, VoroNetConfig
+from repro.core import VoroNet
 from repro.utils.rng import RandomSource
 from repro.workloads.distributions import UniformDistribution
 from repro.workloads.generators import generate_objects

@@ -1,11 +1,9 @@
 """Unit tests for overlay maintenance (AddVoronoiRegion / RemoveVoronoiRegion)."""
 
-import numpy as np
 import pytest
 
 from repro.core import VoroNet, VoroNetConfig
 from repro.core.maintenance import view_consistency_report
-from repro.geometry.point import distance
 
 
 @pytest.fixture

@@ -9,7 +9,6 @@ from repro.core.neighbors import (
     brute_force_close_neighbors,
     compute_close_neighbors,
 )
-from repro.geometry.point import distance
 
 
 class TestNeighborView:

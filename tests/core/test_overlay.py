@@ -1,6 +1,5 @@
 """Unit tests for the VoroNet overlay (join, leave, views, ownership)."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for point, range, radius and segment queries."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for greedy routing."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for operation statistics."""
 
-import pytest
 
 from repro.core.stats import OperationStats, OverlayStats
 

@@ -1,7 +1,6 @@
 """Unit tests for convex hulls."""
 
 import numpy as np
-import pytest
 
 from repro.geometry.convex_hull import (
     convex_hull,

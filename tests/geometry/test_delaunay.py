@@ -1,6 +1,5 @@
 """Unit tests for the incremental Delaunay kernel."""
 
-import math
 
 import numpy as np
 import pytest

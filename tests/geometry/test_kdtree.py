@@ -1,6 +1,5 @@
 """Unit tests for the kd-tree nearest-neighbour oracle."""
 
-import math
 
 import numpy as np
 import pytest

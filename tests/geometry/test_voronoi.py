@@ -1,11 +1,10 @@
 """Unit tests for Voronoi cell extraction."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
+from repro.geometry.bounding import BoundingBox
 from repro.geometry.delaunay import DelaunayTriangulation
 from repro.geometry.point import distance
 from repro.geometry.voronoi import (

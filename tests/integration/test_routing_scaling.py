@@ -11,7 +11,6 @@ scale (the benchmarks run the full-size versions):
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.analysis.hops import measure_routing, sweep_overlay_sizes

@@ -20,7 +20,7 @@ class TestScheduling:
         engine = SimulationEngine()
         fired = []
         for label in "abc":
-            engine.schedule(1.0, lambda l=label: fired.append(l))
+            engine.schedule(1.0, lambda tag=label: fired.append(tag))
         engine.run()
         assert fired == ["a", "b", "c"]
 

@@ -1,0 +1,177 @@
+"""Tests of the per-node routing-candidate cache of the protocol simulator.
+
+The protocol-level mirror of :mod:`tests.core.test_routing_cache`:
+
+* a Hypothesis *stateful* machine interleaving joins, bulk joins, leaves
+  and queries, asserting after every step that each node's cached flat
+  block equals its freshly assembled candidate dict and that view epochs
+  never move backwards;
+* twin simulators (cache on vs. off) fed identical operation sequences,
+  asserting byte-identical query owners and hop counts;
+* direct checks of the epoch/invalidation contract (`touch_view` on every
+  view-mutating handler, no block stored when the cache is disabled).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import VoroNetConfig
+from repro.simulation.protocol import ProtocolSimulator
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_objects
+
+
+def assert_blocks_match_candidates(simulator):
+    """Every cached block equals the fresh candidate dict of its node."""
+    for object_id in simulator.object_ids():
+        node = simulator.node(object_id)
+        candidates = node.routing_candidates()
+        block = node.routing_block()
+        assert {neighbor for neighbor, _x, _y in block} == set(candidates)
+        for neighbor, x, y in block:
+            assert (x, y) == candidates[neighbor]
+
+
+class NodeRoutingCacheMachine(RuleBasedStateMachine):
+    """Arbitrary interleavings of protocol operations never leave a cached
+    routing block out of sync with the node's fresh candidate view."""
+
+    def __init__(self):
+        super().__init__()
+        self.simulator = ProtocolSimulator(
+            VoroNetConfig(n_max=64, allow_overflow=True, num_long_links=2,
+                          seed=1203), seed=1203)
+        self.epochs = {}
+
+    def _pick(self, token):
+        ids = self.simulator.object_ids()
+        return ids[token % len(ids)]
+
+    @rule(x=st.floats(0.01, 0.99), y=st.floats(0.01, 0.99))
+    def join_object(self, x, y):
+        self.simulator.join((x, y))
+
+    @rule(xs=st.lists(st.tuples(st.floats(0.01, 0.99), st.floats(0.01, 0.99)),
+                      min_size=1, max_size=4))
+    def bulk_join_batch(self, xs):
+        try:
+            self.simulator.bulk_join(xs)
+        except ValueError:
+            pass  # duplicate position in the batch
+
+    @precondition(lambda self: len(self.simulator) > 1)
+    @rule(token=st.integers(min_value=0))
+    def leave_object(self, token):
+        victim = self._pick(token)
+        self.simulator.leave(victim)
+        self.epochs.pop(victim, None)
+
+    @precondition(lambda self: len(self.simulator) > 0)
+    @rule(x=st.floats(0.0, 1.0), y=st.floats(0.0, 1.0))
+    def query_point(self, x, y):
+        report = self.simulator.query((x, y))
+        assert report.owner in self.simulator.object_ids()
+
+    @invariant()
+    def view_epochs_are_monotone(self):
+        for object_id in self.simulator.object_ids():
+            epoch = self.simulator.node(object_id).view_epoch
+            assert epoch >= self.epochs.get(object_id, 0)
+            self.epochs[object_id] = epoch
+
+    @invariant()
+    def blocks_equal_fresh_candidates(self):
+        assert_blocks_match_candidates(self.simulator)
+
+
+TestNodeRoutingCacheStateful = NodeRoutingCacheMachine.TestCase
+TestNodeRoutingCacheStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None)
+
+
+def _twin_simulators(seed=88, n_max=2000, num_long_links=2):
+    """Two structurally identical simulators, one cached, one not."""
+    simulators = []
+    for use_cache in (True, False):
+        simulators.append(ProtocolSimulator(VoroNetConfig(
+            n_max=n_max, num_long_links=num_long_links, seed=seed,
+            use_node_routing_cache=use_cache), seed=seed))
+    return simulators
+
+
+class TestCacheParity:
+    def test_identical_answers_through_churn(self):
+        """Joins, bulk joins, leaves and queries answer identically with the
+        node cache on vs. off."""
+        cached, uncached = _twin_simulators(seed=505)
+        positions = generate_objects(UniformDistribution(), 260, RandomSource(505))
+        cached.bulk_join(positions[:200])
+        uncached.bulk_join(positions[:200])
+        for position in positions[200:]:
+            report_c = cached.join(position)
+            report_u = uncached.join(position)
+            assert (report_c.object_id, report_c.routing_hops) == \
+                (report_u.object_id, report_u.routing_hops)
+
+        probe_rng = np.random.default_rng(606)
+        ids = cached.object_ids()
+        for victim in probe_rng.choice(ids, size=30, replace=False):
+            report_c = cached.leave(int(victim))
+            report_u = uncached.leave(int(victim))
+            assert report_c.messages == report_u.messages
+
+        for point in probe_rng.random((40, 2)):
+            point = tuple(point)
+            start = int(probe_rng.choice(cached.object_ids()))
+            answer_c = cached.query(point, start=start)
+            answer_u = uncached.query(point, start=start)
+            assert answer_c.owner == answer_u.owner
+            assert answer_c.routing_hops == answer_u.routing_hops
+            assert answer_c.messages == answer_u.messages
+
+        assert cached.verify_views() == []
+        assert uncached.verify_views() == []
+        assert_blocks_match_candidates(cached)
+
+    def test_disabled_cache_builds_no_blocks(self):
+        """With the switch off, greedy hops never materialise a block."""
+        simulator = ProtocolSimulator(VoroNetConfig(
+            n_max=128, seed=42, use_node_routing_cache=False), seed=42)
+        simulator.bulk_join(generate_objects(
+            UniformDistribution(), 40, RandomSource(42)))
+        for _ in range(10):
+            simulator.query(tuple(np.random.default_rng(1).random(2)))
+        assert all(simulator.node(oid)._block is None
+                   for oid in simulator.object_ids())
+
+
+class TestEpochContract:
+    def test_handlers_bump_the_epoch(self):
+        simulator = ProtocolSimulator(
+            VoroNetConfig(n_max=64, seed=9), seed=9)
+        simulator.bulk_join([(0.1, 0.1), (0.9, 0.1), (0.5, 0.9), (0.5, 0.4)])
+        epochs = {oid: simulator.node(oid).view_epoch
+                  for oid in simulator.object_ids()}
+        report = simulator.join((0.52, 0.42))
+        # The join touched its region owner's neighbourhood: at least one
+        # pre-existing node must have seen its view (and epoch) move.
+        assert any(simulator.node(oid).view_epoch > epochs[oid]
+                   for oid in epochs if oid in simulator.nodes)
+        # ... and the joining node built its view from scratch.
+        assert simulator.node(report.object_id).view_epoch > 0
+
+    def test_stale_block_is_rebuilt_after_leave(self):
+        simulator = ProtocolSimulator(
+            VoroNetConfig(n_max=64, seed=10), seed=10)
+        ids = simulator.bulk_join(
+            [(0.1, 0.1), (0.9, 0.1), (0.5, 0.9), (0.5, 0.4)]).object_ids
+        survivor = ids[0]
+        simulator.node(survivor).routing_block()  # warm the cache
+        simulator.leave(ids[3])
+        block_ids = {neighbor for neighbor, _x, _y
+                     in simulator.node(survivor).routing_block()}
+        assert ids[3] not in block_ids
+        assert_blocks_match_candidates(simulator)

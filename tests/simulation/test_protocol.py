@@ -57,6 +57,86 @@ class TestJoins:
                 assert oid in simulator.node(close_id).close
 
 
+class TestBulkJoins:
+    def test_bulk_join_builds_consistent_views(self, numpy_rng):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=600, seed=6), seed=6)
+        positions = [tuple(p) for p in numpy_rng.random((150, 2))]
+        report = sim.bulk_join(positions)
+        assert len(sim) == 150
+        assert report.object_ids == list(range(150))
+        assert sim.verify_views() == []
+
+    def test_bulk_join_counts_messages_by_phase(self, numpy_rng):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=600, seed=6), seed=6)
+        report = sim.bulk_join([tuple(p) for p in numpy_rng.random((60, 2))])
+        assert report.messages > 0
+        assert sum(report.phase_messages.values()) == report.messages
+        for phase in ("carve", "views", "close", "long_links"):
+            assert phase in report.phase_messages
+        assert sim.metrics.counter("joins") == 60
+        assert sim.metrics.histogram_summary("bulk_join_messages")["count"] == 1
+
+    def test_bulk_join_records_phase_trace(self, numpy_rng):
+        from repro.simulation.trace import TraceRecorder
+
+        trace = TraceRecorder(enabled=True)
+        sim = ProtocolSimulator(VoroNetConfig(n_max=600, seed=6), seed=6,
+                                trace=trace)
+        sim.bulk_join([tuple(p) for p in numpy_rng.random((40, 2))])
+        phases = {r.details["phase"] for r in trace.records("bulk_join_phase")}
+        assert "views" in phases
+        assert trace.last("bulk_join_phase") is not None
+
+    def test_empty_batch_is_a_noop(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=6), seed=6)
+        report = sim.bulk_join([])
+        assert report.object_ids == []
+        assert report.messages == 0
+        assert len(sim) == 0
+
+    def test_duplicate_positions_are_rejected_up_front(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=6), seed=6)
+        sim.join((0.5, 0.5))
+        with pytest.raises(ValueError):
+            sim.bulk_join([(0.25, 0.25), (0.5, 0.5)])
+        with pytest.raises(ValueError):
+            sim.bulk_join([(0.25, 0.25), (0.25, 0.25)])
+        # Nothing was mutated: only the sequential join is published.
+        assert len(sim) == 1
+        assert sim.verify_views() == []
+
+    def test_invalid_chunk_size_is_rejected(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=6), seed=6)
+        with pytest.raises(ValueError):
+            sim.bulk_join([(0.25, 0.25)], chunk_size=0)
+
+    def test_bulk_join_requires_quiescent_engine(self):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=64, seed=6), seed=6)
+        sim.engine.schedule(5.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.bulk_join([(0.25, 0.25)])
+
+    def test_sequential_operations_after_bulk_join(self, numpy_rng):
+        sim = ProtocolSimulator(VoroNetConfig(n_max=600, seed=6), seed=6)
+        ids = sim.bulk_join([tuple(p) for p in numpy_rng.random((80, 2))]).object_ids
+        report = sim.join((0.512, 0.488))
+        assert report.messages > 0
+        sim.leave(ids[10])
+        assert sim.query((0.5, 0.5)).owner in sim.object_ids()
+        assert sim.verify_views() == []
+
+    def test_small_chunks_give_identical_structure(self, numpy_rng):
+        positions = [tuple(p) for p in numpy_rng.random((60, 2))]
+        small = ProtocolSimulator(VoroNetConfig(n_max=300, seed=6), seed=6)
+        small.bulk_join(positions, chunk_size=7)
+        default = ProtocolSimulator(VoroNetConfig(n_max=300, seed=6), seed=6)
+        default.bulk_join(positions)
+        for oid in default.object_ids():
+            assert set(small.node(oid).voronoi) == set(default.node(oid).voronoi)
+            assert set(small.node(oid).close) == set(default.node(oid).close)
+        assert small.verify_views() == []
+
+
 class TestLeaves:
     def test_leave_removes_object(self, simulator):
         victim = simulator.object_ids()[10]

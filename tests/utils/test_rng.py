@@ -1,7 +1,6 @@
 """Unit tests for the seeded random source."""
 
 import numpy as np
-import pytest
 
 from repro.utils.rng import RandomSource, spawn_rng
 
