@@ -7,12 +7,19 @@ greedy routes measured at each size.  :func:`measure_routing` performs one
 such batch; :func:`sweep_overlay_sizes` grows an overlay through a size
 schedule, measuring at every checkpoint, and is the common engine behind
 the Figure 6, 7 and 8 benchmarks.
+
+:func:`sweep_protocol_overlay_sizes` is the message-level twin: the
+overlay grows through :meth:`ProtocolSimulator.bulk_join
+<repro.simulation.protocol.ProtocolSimulator.bulk_join>` and every
+measured route is an actual greedy ``QUERY`` walk over per-node local
+views — ground truth for the oracle sweep's routing figures at sizes the
+sequential join protocol could never reach.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +27,12 @@ from repro.core.overlay import VoroNet
 from repro.utils.rng import RandomSource
 from repro.workloads.generators import generate_routing_pairs
 
-__all__ = ["HopStatistics", "RoutingSweepPoint", "measure_routing", "sweep_overlay_sizes"]
+if TYPE_CHECKING:  # pragma: no cover - avoids a hard simulation dependency
+    from repro.simulation.protocol import ProtocolSimulator
+
+__all__ = ["HopStatistics", "RoutingSweepPoint", "measure_routing",
+           "sweep_overlay_sizes", "measure_protocol_routing",
+           "sweep_protocol_overlay_sizes"]
 
 
 @dataclass(frozen=True)
@@ -141,6 +153,80 @@ def sweep_overlay_sizes(positions: Sequence, checkpoints: Sequence[int],
         inserted = checkpoint
         stats = measure_routing(overlay, num_pairs, rng,
                                 use_long_links=use_long_links)
+        results.append(RoutingSweepPoint(size=checkpoint, stats=stats))
+        if progress is not None:
+            progress(checkpoint)
+    return results
+
+
+def measure_protocol_routing(simulator, num_pairs: int,
+                             rng: RandomSource) -> HopStatistics:
+    """Measure greedy route lengths between random pairs, message-level.
+
+    Each pair ``(start, destination)`` routes one ``QUERY`` from ``start``
+    to the destination's position; since the destination is a published
+    object, the owner of its position is the destination itself, so a
+    query answered by anyone else counts as a routing failure.
+    """
+    ids = simulator.object_ids()
+    pairs = generate_routing_pairs(ids, num_pairs, rng)
+    hops: List[int] = []
+    failures = 0
+    for start, destination in pairs:
+        report = simulator.query(simulator.node(destination).position,
+                                 start=start)
+        if report.owner == destination:
+            hops.append(report.routing_hops)
+        else:
+            failures += 1
+    return HopStatistics.from_hops(hops, failures=failures)
+
+
+def sweep_protocol_overlay_sizes(positions: Sequence, checkpoints: Sequence[int],
+                                 rng: RandomSource, *,
+                                 num_pairs: int = 1000,
+                                 simulator_factory: Optional[Callable[[], "ProtocolSimulator"]] = None,
+                                 progress: Optional[Callable[[int], None]] = None
+                                 ) -> List[RoutingSweepPoint]:
+    """Message-level mirror of :func:`sweep_overlay_sizes`.
+
+    The overlay grows between checkpoints through
+    :meth:`~repro.simulation.protocol.ProtocolSimulator.bulk_join` — the
+    batched message pipeline whose per-node views are pinned identical to
+    ``bulk_load`` — and each checkpoint measures
+    :func:`measure_protocol_routing` batches, so every reported hop count
+    comes from greedy forwarding over strictly local views.  This is what
+    gives the Figure 6/7 oracle sweeps message-level ground truth at
+    N = 10⁴ and beyond.
+    """
+    from repro.core.config import VoroNetConfig
+    from repro.simulation.protocol import ProtocolSimulator
+
+    checkpoints = sorted(set(int(c) for c in checkpoints))
+    if not checkpoints:
+        raise ValueError("need at least one checkpoint")
+    largest = checkpoints[-1]
+    if len(positions) < largest:
+        raise ValueError(
+            f"need {largest} positions for the largest checkpoint, got {len(positions)}"
+        )
+    if simulator_factory is None:
+        # Dimension exactly like the oracle sweep's default overlay:
+        # d_min and the long-link distribution derive from n_max, so a
+        # different capacity would measure a structurally different
+        # overlay, not the oracle's message-level mirror.
+        seed = rng.integer(0, 2**31 - 1)
+        simulator = ProtocolSimulator(
+            VoroNetConfig(n_max=max(largest, 2), seed=seed), seed=seed)
+    else:
+        simulator = simulator_factory()
+    results: List[RoutingSweepPoint] = []
+    inserted = 0
+    for checkpoint in checkpoints:
+        simulator.bulk_join([positions[index]
+                             for index in range(inserted, checkpoint)])
+        inserted = checkpoint
+        stats = measure_protocol_routing(simulator, num_pairs, rng)
         results.append(RoutingSweepPoint(size=checkpoint, stats=stats))
         if progress is not None:
             progress(checkpoint)

@@ -15,6 +15,7 @@ same code path produces the numbers recorded in ``EXPERIMENTS.md``.
 | Close-neighbour ablation      | (ABL1)   | :mod:`repro.experiments.ablation_close_neighbors` |
 | Baseline comparison           | (ABL2)   | :mod:`repro.experiments.ablation_baselines` |
 | Maintenance cost              | (ABL3)   | :mod:`repro.experiments.ablation_maintenance` |
+| Churn/crash repair (protocol) | (ABL4)   | :mod:`repro.experiments.ablation_churn_protocol` |
 
 Every driver accepts a ``scale`` factor: 1.0 is the laptop-sized default
 documented in ``EXPERIMENTS.md``; larger values approach the paper's
@@ -28,6 +29,10 @@ from repro.experiments.fig8_longlinks import Fig8Result, run_fig8
 from repro.experiments.ablation_close_neighbors import AblationCloseResult, run_ablation_close
 from repro.experiments.ablation_baselines import BaselineComparisonResult, run_baseline_comparison
 from repro.experiments.ablation_maintenance import MaintenanceResult, run_maintenance_experiment
+from repro.experiments.ablation_churn_protocol import (
+    ChurnProtocolResult,
+    run_ablation_churn_protocol,
+)
 
 __all__ = [
     "run_fig5",
@@ -44,4 +49,6 @@ __all__ = [
     "BaselineComparisonResult",
     "run_maintenance_experiment",
     "MaintenanceResult",
+    "run_ablation_churn_protocol",
+    "ChurnProtocolResult",
 ]

@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.analysis.hops import RoutingSweepPoint, sweep_overlay_sizes
+from repro.analysis.hops import (
+    RoutingSweepPoint,
+    sweep_overlay_sizes,
+    sweep_protocol_overlay_sizes,
+)
 from repro.analysis.plots import ascii_series, format_table
 from repro.core import VoroNet, VoroNetConfig
 from repro.experiments.common import (
@@ -23,6 +27,7 @@ from repro.experiments.common import (
     evaluation_distributions,
     scaled,
 )
+from repro.simulation.protocol import ProtocolSimulator
 from repro.utils.rng import RandomSource
 from repro.workloads.generators import generate_objects
 
@@ -45,7 +50,8 @@ class Fig6Result:
 def run_fig6(scale: float | None = None, seed: int = 1006, *,
              num_long_links: int = 1,
              use_long_links: bool = True,
-             use_bulk_load: bool = False) -> Fig6Result:
+             use_bulk_load: bool = False,
+             use_protocol: bool = False) -> Fig6Result:
     """Run the Figure 6 sweep.
 
     Parameters
@@ -59,15 +65,41 @@ def run_fig6(scale: float | None = None, seed: int = 1006, *,
         Grow the overlay between checkpoints with ``bulk_load`` instead of
         sequential routed joins — same measured structure, an order of
         magnitude cheaper to build, enabling paper-scale sweeps (N ≥ 10⁴).
+    use_protocol:
+        Run the sweep *message-level*: overlays grow through
+        ``ProtocolSimulator.bulk_join`` and every measured route is a
+        greedy ``QUERY`` over strictly local views — the ground-truth
+        validation of the oracle sweep, now reaching N = 10⁴ thanks to the
+        batched join pipeline (a sequential-join sweep capped out two
+        orders of magnitude lower).  ``use_long_links`` must stay on —
+        protocol nodes always route over their full view.
     """
     scale = env_scale() if scale is None else scale
     max_size = scaled(6000, scale)
     checkpoints = checkpoint_schedule(max_size, 6)
     num_pairs = scaled(600, scale, minimum=50)
+    if use_protocol and not use_long_links:
+        raise ValueError("the protocol-mode sweep always routes over full "
+                         "views; use_long_links=False is oracle-only")
     series: Dict[str, List[RoutingSweepPoint]] = {}
     for index, distribution in enumerate(evaluation_distributions()):
         rng = RandomSource(seed + index)
         positions = generate_objects(distribution, max_size, rng)
+
+        if use_protocol:
+            def protocol_factory(seed_offset=index) -> ProtocolSimulator:
+                return ProtocolSimulator(VoroNetConfig(
+                    n_max=CAPACITY_HEADROOM * max_size,
+                    num_long_links=num_long_links,
+                    seed=seed + 100 + seed_offset,
+                ), seed=seed + 100 + seed_offset)
+
+            series[distribution.name] = sweep_protocol_overlay_sizes(
+                positions, checkpoints, rng,
+                num_pairs=num_pairs,
+                simulator_factory=protocol_factory,
+            )
+            continue
 
         def factory(seed_offset=index) -> VoroNet:
             return VoroNet(VoroNetConfig(

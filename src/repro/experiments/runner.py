@@ -20,6 +20,10 @@ import time
 from typing import Callable, Dict, Tuple
 
 from repro.experiments.ablation_baselines import format_baseline_comparison, run_baseline_comparison
+from repro.experiments.ablation_churn_protocol import (
+    format_churn_protocol,
+    run_ablation_churn_protocol,
+)
 from repro.experiments.ablation_close_neighbors import format_ablation_close, run_ablation_close
 from repro.experiments.ablation_maintenance import format_maintenance, run_maintenance_experiment
 from repro.experiments.fig5_degree import format_fig5, run_fig5
@@ -38,6 +42,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
     "abl1-close": (run_ablation_close, format_ablation_close),
     "abl2-baselines": (run_baseline_comparison, format_baseline_comparison),
     "abl3-maintenance": (run_maintenance_experiment, format_maintenance),
+    "abl4-churn-protocol": (run_ablation_churn_protocol, format_churn_protocol),
 }
 
 

@@ -32,6 +32,19 @@ oracle handles:
   tables.  ``VoroNetConfig.use_node_routing_cache`` (default ``True``)
   switches back to per-hop candidate-dict assembly for parity testing;
   answers and hop counts are identical either way.
+
+Fault injection and self-healing
+--------------------------------
+:mod:`repro.simulation.faults` adds the crash story the paper leaves
+open: a ``FaultPlane`` woven into the network layer (crashed nodes,
+probabilistic loss/delay, partitions on the virtual clock), heartbeat
+failure detection with per-node suspect lists, and a phased repair
+protocol that heals surviving views — Voronoi scrubs, long-link
+re-resolution through the routed search machinery, close re-discovery —
+entirely through counted messages.  ``ProtocolChurnHarness`` wires it all
+into one reproducible churn/crash/repair experiment; the oracle-mode
+injectors in :mod:`repro.simulation.failures` remain the fast path for
+damage accounting without message simulation.
 """
 
 from repro.simulation.engine import SimulationEngine
@@ -44,7 +57,18 @@ from repro.simulation.network import (
 )
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.trace import TraceRecorder
-from repro.simulation.failures import ChurnScheduler, CrashInjector
+from repro.simulation.failures import ChurnScheduler, CrashDamageReport, CrashInjector
+from repro.simulation.faults import (
+    FaultDecision,
+    FaultPlane,
+    HeartbeatDetector,
+    PartitionSpec,
+    ProtocolChurnHarness,
+    ProtocolChurnReport,
+    ProtocolCrashInjector,
+    RepairProtocol,
+    RepairReport,
+)
 from repro.simulation.protocol import (
     BulkJoinReport,
     JoinReport,
@@ -63,7 +87,17 @@ __all__ = [
     "MetricsRegistry",
     "TraceRecorder",
     "ChurnScheduler",
+    "CrashDamageReport",
     "CrashInjector",
+    "FaultDecision",
+    "FaultPlane",
+    "HeartbeatDetector",
+    "PartitionSpec",
+    "ProtocolChurnHarness",
+    "ProtocolChurnReport",
+    "ProtocolCrashInjector",
+    "RepairProtocol",
+    "RepairReport",
     "ProtocolSimulator",
     "BulkJoinReport",
     "JoinReport",

@@ -7,9 +7,14 @@ Two injectors drive dynamism experiments:
   or the protocol simulator, at configurable rates on the virtual clock;
 * :class:`CrashInjector` removes objects *abruptly* — without running the
   leave protocol — and then reports how much state (dangling long links,
-  stale close neighbours) the survivors are left with.  The paper does not
-  give a crash-repair protocol; quantifying the damage is how we exercise
-  the limitation it acknowledges.
+  stale close neighbours, dangling back registrations) the survivors are
+  left with.  The paper does not give a crash-repair protocol; quantifying
+  the damage is how we exercise the limitation it acknowledges.
+
+Both injectors speak the *oracle* overlay.  The message-level counterpart —
+crash/loss/partition injection through the network layer, heartbeat failure
+detection and the self-healing repair protocol — lives in
+:mod:`repro.simulation.faults`.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import Callable, List, Optional
 from repro.core.overlay import VoroNet
 from repro.geometry.point import Point
 from repro.simulation.engine import SimulationEngine
+from repro.simulation.events import Event
 from repro.utils.rng import RandomSource
 from repro.workloads.distributions import ObjectDistribution, UniformDistribution
 
@@ -28,6 +34,15 @@ __all__ = ["ChurnScheduler", "CrashInjector", "CrashDamageReport"]
 
 class ChurnScheduler:
     """Schedules graceful joins and leaves on a simulation engine.
+
+    Joins and leaves are drawn from **one merged arrival process**: a
+    single Poisson stream at rate ``join_rate + leave_rate`` whose arrivals
+    are classified join/leave with probability proportional to their rates
+    (the superposition theorem).  Two independent streams — the obvious
+    alternative — share no ordering guarantee when the rates differ: every
+    join would be scheduled before any leave at equal timestamps, and the
+    relative interleaving would drift with the rate ratio instead of being
+    exchangeable.
 
     Parameters
     ----------
@@ -59,26 +74,53 @@ class ChurnScheduler:
         self._leave_rate = leave_rate
         self._distribution = distribution or UniformDistribution()
         self._rng = rng if rng is not None else RandomSource()
+        self._scheduled: List[Event] = []
         self.joins_executed = 0
         self.leaves_executed = 0
 
-    def start(self, horizon: float) -> None:
-        """Schedule churn events up to virtual time ``horizon``."""
-        time = 0.0
+    def start(self, horizon: float) -> int:
+        """Schedule churn events over the next ``horizon`` time units.
+
+        Times are relative to the engine's *current* clock, so a scheduler
+        can be started on a warm simulator (e.g. after a ``bulk_join``
+        advanced the virtual time).  Returns the number of events
+        scheduled; the handles are kept so :meth:`stop` can cancel them.
+        """
+        begin = self._engine.now
+        total_rate = self._join_rate + self._leave_rate
+        join_share = self._join_rate / total_rate
+        time = begin
+        scheduled = 0
         while True:
-            time += self._rng.exponential(1.0 / self._join_rate)
-            if time > horizon:
+            time += self._rng.exponential(1.0 / total_rate)
+            if time > begin + horizon:
                 break
-            position = self._distribution.sample(1, self._rng)[0]
-            self._engine.schedule_at(time, self._make_join(position), label="churn-join")
-        if self._leave_rate <= 0:
-            return
-        time = 0.0
-        while True:
-            time += self._rng.exponential(1.0 / self._leave_rate)
-            if time > horizon:
-                break
-            self._engine.schedule_at(time, self._make_leave(), label="churn-leave")
+            if self._rng.uniform() < join_share:
+                position = self._distribution.sample(1, self._rng)[0]
+                event = self._engine.schedule_at(time, self._make_join(position),
+                                                 label="churn-join")
+            else:
+                event = self._engine.schedule_at(time, self._make_leave(),
+                                                 label="churn-leave")
+            self._scheduled.append(event)
+            scheduled += 1
+        return scheduled
+
+    def stop(self) -> int:
+        """Cancel every churn event still pending; returns how many.
+
+        Harness teardown calls this so a partially drained schedule cannot
+        leak stale joins/leaves into a later phase (the engine's
+        ``quiescent`` check ignores cancelled events, so batched operations
+        remain usable immediately after stopping).
+        """
+        cancelled = 0
+        for event in self._scheduled:
+            if not event.cancelled and event.time > self._engine.now:
+                cancelled += 1
+            event.cancel()
+        self._scheduled.clear()
+        return cancelled
 
     def _make_join(self, position: Point) -> Callable[[], None]:
         def action() -> None:
@@ -95,16 +137,27 @@ class ChurnScheduler:
 
 @dataclass(frozen=True)
 class CrashDamageReport:
-    """State damage observed after abrupt (non-graceful) departures."""
+    """State damage observed after abrupt (non-graceful) departures.
+
+    ``dangling_back_links`` counts back-registrations whose *source*
+    crashed (the reverse pointer now serves nobody); ``stale_voronoi_entries``
+    counts local Voronoi-view entries pointing at crashed ids — always zero
+    in oracle mode, where views are derived from the shared kernel, but
+    nonzero for the message-level simulator until the repair protocol
+    scrubs them.
+    """
 
     crashed: int
     dangling_long_links: int
     stale_close_neighbors: int
     affected_objects: int
+    dangling_back_links: int = 0
+    stale_voronoi_entries: int = 0
 
     @property
     def total_stale_entries(self) -> int:
-        return self.dangling_long_links + self.stale_close_neighbors
+        return (self.dangling_long_links + self.stale_close_neighbors
+                + self.dangling_back_links + self.stale_voronoi_entries)
 
 
 class CrashInjector:
@@ -155,6 +208,7 @@ class CrashInjector:
         crashed = set(self._crashed)
         dangling_links = 0
         stale_close = 0
+        dangling_back = 0
         affected = set()
         for object_id in overlay.object_ids():
             node = overlay.node(object_id)
@@ -166,11 +220,16 @@ class CrashInjector:
                 if close_id in crashed:
                     stale_close += 1
                     affected.add(object_id)
+            for back_link in node.back_links:
+                if back_link.source in crashed:
+                    dangling_back += 1
+                    affected.add(object_id)
         return CrashDamageReport(
             crashed=len(crashed),
             dangling_long_links=dangling_links,
             stale_close_neighbors=stale_close,
             affected_objects=len(affected),
+            dangling_back_links=dangling_back,
         )
 
     def repair(self) -> int:
@@ -178,7 +237,8 @@ class CrashInjector:
 
         Returns the number of entries fixed.  Long links pointing at crashed
         objects are re-resolved by looking up the owner of their target
-        point; stale close neighbours are dropped.
+        point; stale close neighbours and back registrations whose source
+        crashed are dropped.
         """
         overlay = self._overlay
         crashed = set(self._crashed)
@@ -197,6 +257,10 @@ class CrashInjector:
             for close_id in stale:
                 node.discard_close_neighbor(close_id)
                 fixed += 1
+            dangling_back = {bl for bl in node.back_links if bl.source in crashed}
+            if dangling_back:
+                node.back_links -= dangling_back
+                fixed += len(dangling_back)
         # Retargeted long links changed forwarding candidates (epoch contract).
         overlay.invalidate_routing_tables()
         return fixed

@@ -1,0 +1,962 @@
+"""Message-level fault injection and the self-healing repair protocol.
+
+The paper (Section 3.3) specifies a *graceful* departure protocol — a
+leaving object hands its region, its close-neighbour declarations and its
+hosted back-long-range registrations to the survivors before withdrawing —
+and explicitly leaves crash recovery open.  The oracle-mode
+:class:`~repro.simulation.failures.CrashInjector` quantifies that gap by
+mutating overlay state directly; this module closes it *at the message
+level*: crashes, message loss and partitions are injected into the network
+layer, and the survivors detect and repair the damage entirely through
+counted protocol messages.
+
+Four pieces compose the subsystem:
+
+* :class:`FaultPlane` — the injection point, consulted by
+  :meth:`Network.send <repro.simulation.network.Network.send>` for every
+  non-local message.  It drops traffic to/from crashed nodes, cuts
+  messages crossing an active partition (a set of ids isolated for a
+  window of the virtual clock), and loses or delays messages
+  probabilistically from a dedicated seeded random source, so delivery
+  decisions are reproducible end to end.
+* :class:`ProtocolCrashInjector` — crashes live protocol nodes abruptly.
+  Exactly mirroring the oracle injector, the *substrate* is repaired (the
+  shared kernel, the locate grid and the network handler table forget the
+  victim — the hosting infrastructure notices the peer vanished) while
+  every protocol-level hand-over of Section 3.3 is skipped, stranding the
+  survivors' local views.
+* :class:`HeartbeatDetector` — periodic ``PING``/``PONG`` probing of each
+  node's full reference set (Voronoi neighbours, close neighbours,
+  long-link endpoints and back-link sources).  A peer missing
+  ``miss_threshold`` consecutive rounds lands on the prober's local
+  suspect list; a live suspect that later answers a probe is
+  exonerated by the ``PONG`` handler, so lost heartbeats self-correct.
+* :class:`RepairProtocol` — the crash-mode extension of the Section 3.3
+  departure protocol.  Where a graceful leaver *pushes* its state out, the
+  repair protocol lets the survivors *pull* the overlay back together in
+  phased rounds: suspicion gossip (``SUSPECT_NOTIFY``, which also scrubs
+  close entries and dangling back registrations), Voronoi view repair
+  (``VIEW_SCRUB``, the survivors' ``RemoveVoronoiRegion`` — each wounded
+  view is refreshed from a version-stamped local kernel consultation, and
+  mis-held back registrations are handed one greedy step towards their
+  target's owner), dangling long-link re-resolution (re-running the routed
+  ``SEARCH_LONG_LINK`` machinery, which re-registers the back link and
+  answers ``LONG_LINK_ESTABLISHED``), and close re-discovery seeded by the
+  simulator's locate grid.  Rounds are retry-safe: a node keeps a suspect
+  until no local reference to it survives, so repair messages lost to the
+  fault plane are simply re-attempted next round.
+
+:class:`ProtocolChurnHarness` wires the pieces into one reproducible
+experiment — bulk-join a population, churn it gracefully, crash a
+fraction, detect, repair, verify — with per-phase message accounting; the
+``ablation_churn_protocol`` experiment and ``bench_protocol_churn``
+benchmark are thin wrappers around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import VoroNetConfig
+from repro.simulation.failures import ChurnScheduler, CrashDamageReport
+from repro.simulation.network import Message
+from repro.simulation.protocol import ProtocolSimulator
+from repro.simulation.trace import TraceRecorder
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import ObjectDistribution, UniformDistribution
+from repro.workloads.generators import generate_objects
+
+__all__ = [
+    "FaultDecision",
+    "FaultPlane",
+    "PartitionSpec",
+    "ProtocolCrashInjector",
+    "HeartbeatDetector",
+    "RepairProtocol",
+    "RepairReport",
+    "ProtocolChurnHarness",
+    "ProtocolChurnReport",
+]
+
+
+# ----------------------------------------------------------------------
+# the fault plane
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultDecision:
+    """Verdict of the fault plane on one message."""
+
+    deliver: bool
+    reason: str = "ok"
+    extra_delay: float = 0.0
+
+
+_DELIVER = FaultDecision(deliver=True)
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One partition: ``members`` are cut off from everyone else in a window.
+
+    The window is half-open on the virtual clock: messages sent at
+    ``start <= now < end`` with exactly one endpoint inside ``members``
+    are dropped.  Traffic *within* the isolated group (and within its
+    complement) flows normally.
+    """
+
+    members: frozenset
+    start: float
+    end: float
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+    def separates(self, sender: int, recipient: int) -> bool:
+        return (sender in self.members) != (recipient in self.members)
+
+
+class FaultPlane:
+    """Message-level fault injection for the protocol simulator.
+
+    Attach via ``ProtocolSimulator(..., faults=FaultPlane(seed=...))`` (or
+    by setting :attr:`Network.faults <repro.simulation.network.Network.faults>`
+    directly).  Every non-local send is then submitted to :meth:`decide`.
+
+    Decision order is fixed — crashed sender, crashed recipient, partition
+    cut, probabilistic loss, probabilistic delay — and random draws come
+    from a dedicated :class:`~repro.utils.rng.RandomSource`, so for a given
+    seed and message sequence the decisions are deterministic (the
+    Hypothesis suite pins this).
+
+    Parameters
+    ----------
+    seed:
+        Seed of the loss/delay random source.
+    loss_probability:
+        Per-message probability of silent loss (applied after crash and
+        partition checks).
+    delay_probability / delay_range:
+        Probability that a delivered message is stretched by an extra
+        latency drawn uniformly from ``delay_range``.
+    """
+
+    def __init__(self, *, seed: Optional[int] = None,
+                 loss_probability: float = 0.0,
+                 delay_probability: float = 0.0,
+                 delay_range: Tuple[float, float] = (0.0, 0.0)) -> None:
+        self._rng = RandomSource(seed)
+        self._crashed: Set[int] = set()
+        self._partitions: List[PartitionSpec] = []
+        self.set_loss(loss_probability)
+        self.set_delay(delay_probability, delay_range)
+        self.decisions = 0
+        self.drops_by_reason: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def set_loss(self, probability: float) -> None:
+        """Set the per-message loss probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability}")
+        self.loss_probability = probability
+
+    def set_delay(self, probability: float,
+                  delay_range: Tuple[float, float]) -> None:
+        """Set the extra-delay probability and its uniform range."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"delay probability must be in [0, 1], got {probability}")
+        low, high = delay_range
+        if not 0.0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got {delay_range}")
+        self.delay_probability = probability
+        self.delay_range = (float(low), float(high))
+
+    def crash(self, object_id: int) -> None:
+        """Mark a node crashed: every message to or from it is dropped."""
+        self._crashed.add(object_id)
+
+    def is_crashed(self, object_id: int) -> bool:
+        return object_id in self._crashed
+
+    @property
+    def crashed(self) -> frozenset:
+        """Ids currently marked crashed."""
+        return frozenset(self._crashed)
+
+    def partition(self, members: Sequence[int], start: float,
+                  end: float) -> PartitionSpec:
+        """Isolate ``members`` from the rest of the overlay on ``[start, end)``."""
+        if end < start:
+            raise ValueError(f"partition window ends before it starts: "
+                             f"[{start}, {end})")
+        spec = PartitionSpec(members=frozenset(members), start=float(start),
+                             end=float(end))
+        self._partitions.append(spec)
+        return spec
+
+    def heal_partitions(self) -> int:
+        """Drop every partition spec; returns how many were active or pending."""
+        count = len(self._partitions)
+        self._partitions.clear()
+        return count
+
+    # ------------------------------------------------------------------
+    # the decision hook
+    # ------------------------------------------------------------------
+    def decide(self, message: Message, now: float) -> FaultDecision:
+        """Fate of one message sent at virtual time ``now``."""
+        self.decisions += 1
+        if message.sender in self._crashed:
+            return self._drop("crashed_sender")
+        if message.recipient in self._crashed:
+            return self._drop("crashed_recipient")
+        if self._partitions:
+            # Prune expired windows first: decide() sits on the per-message
+            # hot path, and the virtual clock never goes backwards.
+            self._partitions = [spec for spec in self._partitions
+                                if spec.end > now]
+            for spec in self._partitions:
+                if spec.active(now) and spec.separates(message.sender,
+                                                       message.recipient):
+                    return self._drop("partition")
+        if self.loss_probability > 0.0 and self._rng.uniform() < self.loss_probability:
+            return self._drop("loss")
+        if self.delay_probability > 0.0 and self._rng.uniform() < self.delay_probability:
+            low, high = self.delay_range
+            return FaultDecision(deliver=True, reason="delayed",
+                                 extra_delay=self._rng.uniform(low, high))
+        return _DELIVER
+
+    def _drop(self, reason: str) -> FaultDecision:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        return FaultDecision(deliver=False, reason=reason)
+
+
+# ----------------------------------------------------------------------
+# protocol-mode crash injection
+# ----------------------------------------------------------------------
+class ProtocolCrashInjector:
+    """Abruptly removes objects from a message-level overlay.
+
+    The substrate semantics mirror the oracle-mode
+    :class:`~repro.simulation.failures.CrashInjector` exactly: the shared
+    kernel, the locate grid and the network handler table forget the victim
+    (the hosting infrastructure notices the peer vanished), and the fault
+    plane starts dropping any traffic addressed to it — but none of the
+    Section 3.3 hand-overs run, so every surviving local view that
+    referenced the victim is left stale.  :meth:`assess_damage` quantifies
+    the wreckage in the same :class:`CrashDamageReport` terms the oracle
+    injector uses, which is what the protocol-vs-oracle parity tests pin.
+    """
+
+    def __init__(self, simulator: ProtocolSimulator,
+                 rng: Optional[RandomSource] = None) -> None:
+        self._simulator = simulator
+        if simulator.network.faults is None:
+            simulator.network.faults = FaultPlane()
+        self._rng = rng if rng is not None else RandomSource()
+        self._crashed: List[int] = []
+
+    @property
+    def crashed(self) -> List[int]:
+        """Ids crashed so far, in crash order."""
+        return list(self._crashed)
+
+    def crash_random(self, count: int) -> List[int]:
+        """Crash ``count`` uniformly random objects; returns their ids."""
+        victims: List[int] = []
+        for _ in range(count):
+            ids = self._simulator.object_ids()
+            if len(ids) <= 3:
+                break
+            victim = ids[self._rng.integer(0, len(ids))]
+            self.crash(victim)
+            victims.append(victim)
+        return victims
+
+    def crash(self, object_id: int) -> None:
+        """Crash one object: substrate repaired, protocol hand-overs skipped."""
+        simulator = self._simulator
+        if object_id not in simulator.nodes:
+            raise KeyError(f"unknown object {object_id}")
+        simulator.network.faults.crash(object_id)
+        simulator.kernel.remove(object_id)
+        simulator.locate.discard(object_id)
+        simulator.network.unregister(object_id)
+        del simulator.nodes[object_id]
+        self._crashed.append(object_id)
+        simulator.trace.record(simulator.engine.now, "crash",
+                               object_id=object_id)
+        simulator.metrics.increment("crashes")
+
+    def assess_damage(self) -> CrashDamageReport:
+        """Count stale references the crashes left in surviving views."""
+        simulator = self._simulator
+        crashed = set(self._crashed)
+        dangling_links = 0
+        stale_close = 0
+        dangling_back = 0
+        stale_voronoi = 0
+        affected = set()
+        for object_id, node in simulator.nodes.items():
+            for link in node.long_links:
+                if link.neighbor in crashed:
+                    dangling_links += 1
+                    affected.add(object_id)
+            for close_id in node.close:
+                if close_id in crashed:
+                    stale_close += 1
+                    affected.add(object_id)
+            for source, _index in node.back_links:
+                if source in crashed:
+                    dangling_back += 1
+                    affected.add(object_id)
+            for neighbor_id in node.voronoi:
+                if neighbor_id in crashed:
+                    stale_voronoi += 1
+                    affected.add(object_id)
+        return CrashDamageReport(
+            crashed=len(crashed),
+            dangling_long_links=dangling_links,
+            stale_close_neighbors=stale_close,
+            affected_objects=len(affected),
+            dangling_back_links=dangling_back,
+            stale_voronoi_entries=stale_voronoi,
+        )
+
+
+# ----------------------------------------------------------------------
+# heartbeat failure detection
+# ----------------------------------------------------------------------
+class HeartbeatDetector:
+    """Periodic ``PING``/``PONG`` probing with per-node suspect lists.
+
+    Every live node probes its full reference set
+    (:meth:`ProtocolNode.monitored_peers
+    <repro.simulation.protocol.ProtocolNode.monitored_peers>`) each round;
+    a peer that misses ``miss_threshold`` consecutive rounds is added to
+    the prober's local suspect list.  Two driving modes:
+
+    * :meth:`run_round` — synchronous: send the probes, drain the engine,
+      sweep the answers.  The repair protocol and the churn harness drive
+      detection this way for bounded, countable rounds.
+    * :meth:`start` — clock-driven: rounds are scheduled every ``interval``
+      on the virtual clock (each tick sweeps the previous round before
+      probing), composing with other scheduled activity such as churn or
+      partition windows; :meth:`stop` cancels the remaining ticks.
+    """
+
+    def __init__(self, simulator: ProtocolSimulator, *,
+                 interval: float = 8.0, miss_threshold: int = 2) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+        self.simulator = simulator
+        self.interval = interval
+        self.miss_threshold = miss_threshold
+        self.rounds_run = 0
+        self._round = 0
+        self._outstanding: Dict[int, Set[int]] = {}
+        self._scheduled: List = []
+
+    # ------------------------------------------------------------------
+    def _send_pings(self) -> int:
+        simulator = self.simulator
+        self._round += 1
+        self._outstanding = {}
+        pings = 0
+        for object_id, node in list(simulator.nodes.items()):
+            peers = node.monitored_peers()
+            if not peers:
+                continue
+            self._outstanding[object_id] = peers
+            for peer in sorted(peers):
+                simulator.send(node, peer, "PING", {"round": self._round})
+                pings += 1
+        return pings
+
+    def _sweep(self) -> List[Tuple[int, int]]:
+        """Settle the previous round; returns newly created (prober, suspect)."""
+        simulator = self.simulator
+        new_suspects: List[Tuple[int, int]] = []
+        for object_id, peers in self._outstanding.items():
+            node = simulator.nodes.get(object_id)
+            if node is None:  # the prober itself crashed mid-round
+                continue
+            for peer in sorted(peers):
+                if node.last_heard.get(peer) == self._round:
+                    continue
+                misses = node.missed_heartbeats.get(peer, 0) + 1
+                node.missed_heartbeats[peer] = misses
+                if misses >= self.miss_threshold and peer not in node.suspects:
+                    node.suspects.add(peer)
+                    node.apply_suspicion({peer})
+                    new_suspects.append((object_id, peer))
+                    simulator.trace.record(simulator.engine.now, "suspect",
+                                           prober=object_id, suspect=peer)
+        self._outstanding = {}
+        self.rounds_run += 1
+        return new_suspects
+
+    # ------------------------------------------------------------------
+    def run_round(self) -> List[Tuple[int, int]]:
+        """One synchronous round: probe, drain, sweep.
+
+        Returns the (prober, suspect) pairs created by this round.
+        """
+        self._send_pings()
+        self.simulator.engine.run()
+        return self._sweep()
+
+    def run_rounds(self, count: int) -> List[Tuple[int, int]]:
+        """Run ``count`` synchronous rounds; returns all new suspicions."""
+        created: List[Tuple[int, int]] = []
+        for _ in range(count):
+            created.extend(self.run_round())
+        return created
+
+    # ------------------------------------------------------------------
+    def start(self, duration: float) -> int:
+        """Schedule clock-driven rounds over the next ``duration`` time units.
+
+        Returns the number of ticks scheduled.  The caller drives the
+        engine (``engine.run()`` or ``run_until``); each tick sweeps the
+        round before it, and a trailing tick settles the final round.
+        """
+        engine = self.simulator.engine
+        ticks = int(duration / self.interval)
+        for index in range(1, ticks + 1):
+            event = engine.schedule(index * self.interval, self._tick,
+                                    label="heartbeat")
+            self._scheduled.append(event)
+        # The trailing sweep: answers to the final round's probes arrive
+        # within a latency, long before another full interval elapses.
+        event = engine.schedule((ticks + 1) * self.interval, self._sweep,
+                                label="heartbeat-final")
+        self._scheduled.append(event)
+        return ticks
+
+    def _tick(self) -> None:
+        if self._outstanding:
+            self._sweep()
+        self._send_pings()
+
+    def stop(self) -> int:
+        """Cancel every scheduled tick still pending; returns how many."""
+        engine = self.simulator.engine
+        cancelled = 0
+        for event in self._scheduled:
+            if not event.cancelled and event.time > engine.now:
+                cancelled += 1
+            event.cancel()
+        self._scheduled.clear()
+        return cancelled
+
+    # ------------------------------------------------------------------
+    def suspected(self) -> Dict[int, Set[int]]:
+        """Current per-node suspect lists (non-empty ones only)."""
+        return {object_id: set(node.suspects)
+                for object_id, node in self.simulator.nodes.items()
+                if node.suspects}
+
+
+# ----------------------------------------------------------------------
+# the repair protocol
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepairReport:
+    """Outcome of a repair session."""
+
+    rounds: int
+    converged: bool
+    suspects_processed: int
+    reissued_long_links: int
+    phase_messages: Dict[str, int] = field(default_factory=dict)
+    residual_suspects: int = 0
+
+
+class RepairProtocol:
+    """Heals surviving views after crashes, in phased message rounds.
+
+    One :meth:`repair_round` runs five drained phases — ``probe`` (every
+    suspect receives direct ``PING``s from its suspecter; a live suspect's
+    ``PONG`` exonerates it *before* any destructive phase acts on the
+    suspicion, which is what keeps lossy heartbeats from amputating live
+    nodes), ``notify`` (suspicion gossip to the local neighbourhood; the
+    handler scrubs close entries and dangling back registrations),
+    ``scrub`` (version-stamped ``VIEW_SCRUB`` refreshes every Voronoi view
+    that still references a suspect; the handler also hands mis-held back
+    registrations one greedy step towards their owner), ``retarget``
+    (dangling long links re-run the routed ``SEARCH_LONG_LINK``) and
+    ``close`` (locate-grid-seeded close re-discovery, restoring entries
+    dropped on false suspicion) — then garbage-collects suspect entries
+    that no local reference supports any more.
+
+    :meth:`repair` iterates rounds until every suspect list drains and a
+    final long-link audit (the same kernel consultation ``bulk_join``'s
+    hand-over phase uses) finds every link pointing at its target's true
+    owner, or ``max_rounds`` is exhausted.  Because nodes keep a suspect
+    while any stale reference survives, rounds are idempotent and
+    retry-safe under message loss.
+    """
+
+    PHASES = ("probe", "notify", "scrub", "retarget", "close", "audit")
+
+    #: Direct probes per suspect in the exoneration phase; with loss
+    #: probability ``p`` a live suspect survives all of them (and is
+    #: wrongly repaired around) with probability ``(1 - (1-p)²)^PROBES`` —
+    #: the final audit phase settles those stragglers.
+    PROBES_PER_SUSPECT = 2
+
+    def __init__(self, simulator: ProtocolSimulator, *,
+                 detector: Optional[HeartbeatDetector] = None,
+                 max_rounds: int = 8) -> None:
+        self.simulator = simulator
+        self.detector = detector if detector is not None \
+            else HeartbeatDetector(simulator)
+        self.max_rounds = max_rounds
+        self._reissued = 0
+        self._reissue_attempts: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _holders(self) -> List[int]:
+        """Live nodes with a non-empty suspect list, in id order."""
+        return sorted(object_id for object_id, node in self.simulator.nodes.items()
+                      if node.suspects)
+
+    def repair_round(self) -> Optional[Dict[str, int]]:
+        """Run one phased repair round; ``None`` when nothing is suspected."""
+        simulator = self.simulator
+        network = simulator.network
+        holders = self._holders()
+        rehabilitation_pending = any(node.rehabilitated
+                                     for node in simulator.nodes.values())
+        if not holders and not rehabilitation_pending:
+            return None
+        phase_messages: Dict[str, int] = {}
+
+        # ---- probe: give every suspect a chance to exonerate itself -----
+        # Heartbeat rounds under message loss routinely cross the miss
+        # threshold for live peers; acting on such a suspicion would repair
+        # *around* a healthy node.  Direct probes first: a live suspect's
+        # PONG clears the suspicion (and its miss counter) before any
+        # destructive phase runs.
+        if holders:
+            before = network.messages_sent
+            for object_id in holders:
+                node = simulator.nodes.get(object_id)
+                if node is None:
+                    continue
+                for suspect in sorted(node.suspects):
+                    for _ in range(self.PROBES_PER_SUSPECT):
+                        simulator.send(node, suspect, "PING", {"round": 0})
+            simulator.engine.run()
+            phase_messages["probe"] = network.messages_sent - before
+            holders = self._holders()
+
+        suspected = sorted(set().union(set(), *(
+            simulator.nodes[object_id].suspects for object_id in holders)))
+        suspected_set = set(suspected)
+
+        if holders:
+            # ---- notify: gossip suspicion to the local neighbourhood ----
+            before = network.messages_sent
+            for object_id in holders:
+                node = simulator.nodes.get(object_id)
+                if node is None:
+                    continue
+                recipients = sorted((set(node.voronoi) | set(node.close))
+                                    - node.suspects - {object_id})
+                payload = {"suspects": sorted(node.suspects)}
+                for recipient in recipients:
+                    simulator.send(node, recipient, "SUSPECT_NOTIFY", payload)
+            simulator.engine.run()
+            phase_messages["notify"] = network.messages_sent - before
+
+            # ---- scrub: refresh Voronoi views referencing a suspect -----
+            # The sender — a node that detected the crash — plays the role
+            # the departing node plays in Section 3.3: it consults its
+            # local topologically consistent Voronoi computation (the
+            # shared kernel, exactly as AddVoronoiRegion does) and
+            # distributes version-stamped views to the wounded survivors.
+            before = network.messages_sent
+            kernel = simulator.kernel
+            degenerate = len(kernel) <= 8 or not kernel.has_triangulation
+            if degenerate:
+                affected = sorted(simulator.nodes)
+            else:
+                affected = sorted(object_id
+                                  for object_id, node in simulator.nodes.items()
+                                  if suspected_set & set(node.voronoi))
+            version = kernel.version
+            for object_id in affected:
+                sender_id = next((h for h in holders
+                                  if h != object_id and h in simulator.nodes),
+                                 object_id)
+                view = {nid: kernel.point(nid)
+                        for nid in kernel.neighbors(object_id)}
+                simulator.send(simulator.nodes[sender_id], object_id,
+                               "VIEW_SCRUB",
+                               {"voronoi": view, "version": version,
+                                "crashed": suspected})
+            simulator.engine.run()
+            phase_messages["scrub"] = network.messages_sent - before
+
+            # ---- retarget: dangling long links re-run the routed search -
+            # First attempt per link routes from the requester (the join
+            # protocol's own walk); a retry — the previous attempt lost a
+            # hop or its reply to the fault plane — escalates to a
+            # locate-grid seed next to the target, so each further attempt
+            # needs only O(1) deliveries to land.
+            before = network.messages_sent
+            reissued = 0
+            for object_id in sorted(simulator.nodes):
+                node = simulator.nodes[object_id]
+                for index, link in enumerate(node.long_links):
+                    if link.neighbor in node.suspects:
+                        key = (object_id, index)
+                        attempts = self._reissue_attempts.get(key, 0)
+                        seed = (None if attempts == 0
+                                else simulator.locate.hint(link.target))
+                        node.reissue_long_link(index, seed=seed)
+                        self._reissue_attempts[key] = attempts + 1
+                        reissued += 1
+            simulator.engine.run()
+            phase_messages["retarget"] = network.messages_sent - before
+            self._reissued += reissued
+
+        # ---- close: grid-seeded re-discovery (false-suspicion healing) --
+        # Covers exonerated suspects too: suspicion scrubbed their close
+        # entry destructively, and by now the probe phase has already
+        # emptied the suspect list that would otherwise select the node.
+        before = network.messages_sent
+        d_min = simulator.config.effective_d_min
+        for object_id in sorted(simulator.nodes):
+            node = simulator.nodes[object_id]
+            if not node.suspects and not node.rehabilitated:
+                continue
+            node.rehabilitated.clear()
+            found = False
+            for close_id in simulator.locate.within(node.position, d_min):
+                if (close_id == object_id or close_id in node.close
+                        or close_id not in simulator.nodes):
+                    continue
+                node.close[close_id] = simulator.nodes[close_id].position
+                found = True
+                simulator.send(node, close_id, "CLOSE_DECLARE",
+                               {"position": node.position})
+            if found:
+                node.touch_view()
+        simulator.engine.run()
+        phase_messages["close"] = network.messages_sent - before
+
+        # ---- GC: drop suspicion no surviving reference supports ---------
+        for node in simulator.nodes.values():
+            node.gc_suspects()
+        simulator.trace.record(simulator.engine.now, "repair_round",
+                               suspects=len(suspected),
+                               messages=sum(phase_messages.values()))
+        return phase_messages
+
+    # ------------------------------------------------------------------
+    def _audit_long_links(self) -> List[Tuple[int, int]]:
+        """(object_id, link_index) pairs not pointing at their target's owner.
+
+        The same kernel consultation ``bulk_join``'s hand-over phase uses
+        to settle registrations — the simulator standing in for the
+        owner-side audit a deployment would run periodically.
+        """
+        simulator = self.simulator
+        wrong: List[Tuple[int, int]] = []
+        for object_id in sorted(simulator.nodes):
+            node = simulator.nodes[object_id]
+            for index, link in enumerate(node.long_links):
+                if link.neighbor not in simulator.nodes:
+                    wrong.append((object_id, index))
+                    continue
+                owner = simulator.kernel.nearest_vertex(link.target,
+                                                        hint=link.neighbor)
+                if owner != link.neighbor:
+                    wrong.append((object_id, index))
+        return wrong
+
+    def repair(self, max_rounds: Optional[int] = None) -> RepairReport:
+        """Iterate repair rounds until the overlay converges (or the cap)."""
+        simulator = self.simulator
+        cap = max_rounds if max_rounds is not None else self.max_rounds
+        totals: Dict[str, int] = {}
+        processed: Set[int] = set()
+        self._reissued = 0
+        self._reissue_attempts = {}
+        rounds = 0
+        converged = False
+        while rounds < cap:
+            for node in simulator.nodes.values():
+                processed.update(node.suspects)
+            result = self.repair_round()
+            if result is None:
+                wrong = self._audit_long_links()
+                if not wrong:
+                    converged = True
+                    break
+                # Mis-held links (repair raced a stale view): re-issue the
+                # routed search for exactly those links — grid-seeded, this
+                # is the settlement pass — and check again.
+                before = simulator.network.messages_sent
+                for object_id, index in wrong:
+                    node = simulator.nodes[object_id]
+                    seed = simulator.locate.hint(node.long_links[index].target)
+                    node.reissue_long_link(index, seed=seed)
+                    self._reissued += 1
+                simulator.engine.run()
+                totals["audit"] = (totals.get("audit", 0)
+                                   + simulator.network.messages_sent - before)
+                rounds += 1
+                continue
+            for phase, count in result.items():
+                totals[phase] = totals.get(phase, 0) + count
+            rounds += 1
+        else:
+            converged = not self._holders() and not self._audit_long_links()
+        residual = sum(len(node.suspects)
+                       for node in simulator.nodes.values())
+        return RepairReport(rounds=rounds, converged=converged,
+                            suspects_processed=len(processed),
+                            reissued_long_links=self._reissued,
+                            phase_messages=totals,
+                            residual_suspects=residual)
+
+
+# ----------------------------------------------------------------------
+# the churn + fault harness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProtocolChurnReport:
+    """One full churn/crash/repair experiment, with per-phase accounting."""
+
+    objects_built: int
+    churn_joins: int
+    churn_leaves: int
+    crashed: int
+    damage: CrashDamageReport
+    residual_damage: CrashDamageReport
+    detection_rounds: int
+    repair: RepairReport
+    phase_messages: Dict[str, int]
+    verify_problems: int
+    converged: bool
+    virtual_time: float
+
+
+class ProtocolChurnHarness:
+    """Wires bulk construction, churn, crashes, detection and repair.
+
+    The experiment is reproducible from its seed: the population layout,
+    the merged churn arrival process, the crash victims and every fault
+    decision derive from seeded random sources, and all activity runs on
+    the virtual clock.  ``loss_probability`` applies during the detection
+    and repair phases (where retry-safety absorbs it), not during
+    construction and churn, whose operations assume reliable delivery —
+    the same assumption the paper's join/leave protocols make.
+
+    Churn is scheduled through :class:`ChurnScheduler`.  A scheduled
+    join/leave drains the engine re-entrantly (``ProtocolSimulator.join``
+    runs its operation to quiescence), which would both nest Python frames
+    unboundedly and let a nested leave pick a victim whose departure is
+    still in flight — so the harness *defers* churn actions through a
+    queue: the scheduled event only enqueues the operation, and the
+    outermost action executes the queue sequentially in arrival order.
+    """
+
+    _CHURN_WINDOW_EVENTS = 24
+
+    def __init__(self, *, num_objects: int = 1000, seed: int = 7,
+                 num_long_links: int = 1,
+                 churn_events: int = 48,
+                 join_rate: float = 2.0, leave_rate: float = 1.0,
+                 crash_fraction: float = 0.1,
+                 loss_probability: float = 0.0,
+                 heartbeat_interval: float = 8.0,
+                 miss_threshold: int = 2,
+                 max_detection_rounds: int = 8,
+                 max_repair_rounds: int = 8,
+                 distribution: Optional[ObjectDistribution] = None,
+                 trace: Optional["TraceRecorder"] = None) -> None:
+        if not 0.0 <= crash_fraction < 1.0:
+            raise ValueError(f"crash_fraction must be in [0, 1), got {crash_fraction}")
+        self.num_objects = num_objects
+        self.seed = seed
+        self.churn_events = churn_events
+        self.join_rate = join_rate
+        self.leave_rate = leave_rate
+        self.crash_fraction = crash_fraction
+        self.loss_probability = loss_probability
+        self.max_detection_rounds = max_detection_rounds
+        self.max_repair_rounds = max_repair_rounds
+        self.distribution = distribution or UniformDistribution()
+        capacity = 4 * (num_objects + churn_events + 8)
+        self.config = VoroNetConfig(n_max=capacity,
+                                    num_long_links=num_long_links, seed=seed)
+        self.faults = FaultPlane(seed=seed + 1)
+        self.simulator = ProtocolSimulator(self.config, seed=seed,
+                                           faults=self.faults, trace=trace)
+        self.rng = RandomSource(seed + 2)
+        self.detector = HeartbeatDetector(self.simulator,
+                                          interval=heartbeat_interval,
+                                          miss_threshold=miss_threshold)
+        self.repairer = RepairProtocol(self.simulator, detector=self.detector,
+                                       max_rounds=max_repair_rounds)
+        self.injector = ProtocolCrashInjector(self.simulator, rng=self.rng)
+        self.scheduler: Optional[ChurnScheduler] = None
+        self._pending_ops: List[Tuple[str, Optional[Tuple[float, float]]]] = []
+        self._draining = False
+        self._churn_joins = 0
+        self._churn_leaves = 0
+        self._churn_skipped = 0
+
+    # ------------------------------------------------------------------
+    def _churn_done(self) -> bool:
+        # Skipped leaves (population guard) still consume an arrival, so
+        # termination stays exact even when the overlay is tiny; only
+        # genuinely executed operations are *reported*.
+        return (self._churn_joins + self._churn_leaves
+                + self._churn_skipped >= self.churn_events)
+
+    def _enqueue_join(self, position) -> None:
+        if self._churn_done():
+            return
+        self._pending_ops.append(("join", position))
+        self._drain_ops()
+
+    def _enqueue_leave(self) -> None:
+        if self._churn_done():
+            return
+        self._pending_ops.append(("leave", None))
+        self._drain_ops()
+
+    def _drain_ops(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._pending_ops:
+                # Re-check at execution time: events firing inside a
+                # nested engine drain enqueue against stale counts.
+                if self._churn_done():
+                    self._pending_ops.clear()
+                    break
+                kind, position = self._pending_ops.pop(0)
+                if kind == "join":
+                    self.simulator.join(position)
+                    self._churn_joins += 1
+                else:
+                    ids = self.simulator.object_ids()
+                    if len(ids) > 8:
+                        victim = ids[self.rng.integer(0, len(ids))]
+                        self.simulator.leave(victim)
+                        self._churn_leaves += 1
+                    else:
+                        self._churn_skipped += 1
+        finally:
+            self._draining = False
+
+    def _run_churn(self) -> Tuple[int, int]:
+        if self.churn_events <= 0:
+            return 0, 0
+        scheduler = ChurnScheduler(
+            self.simulator.engine,
+            join=self._enqueue_join,
+            leave=self._enqueue_leave,
+            join_rate=self.join_rate, leave_rate=self.leave_rate,
+            distribution=self.distribution,
+            rng=RandomSource(self.seed + 4),
+        )
+        self.scheduler = scheduler
+        # Arrivals beyond the requested event count are dropped by the
+        # enqueue guards (and any still pending are cancelled below), so
+        # exactly ``churn_events`` operations execute — the reported
+        # counts and phase accounting match the parameter.
+        window = self._CHURN_WINDOW_EVENTS / (self.join_rate + self.leave_rate)
+        for _ in range(4 * self.churn_events):
+            if self._churn_done():
+                break
+            scheduler.start(window)
+            self.simulator.engine.run()
+        scheduler.stop()
+        return self._churn_joins, self._churn_leaves
+
+    def _all_damage_suspected(self) -> bool:
+        """Does every surviving stale reference sit on a suspect list?"""
+        dead = set(self.injector.crashed)
+        for node in self.simulator.nodes.values():
+            for peer in node.monitored_peers():
+                if peer in dead and peer not in node.suspects:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def run(self) -> ProtocolChurnReport:
+        """Run the full experiment; every phase's messages are accounted."""
+        simulator = self.simulator
+        network = simulator.network
+        phase_messages: Dict[str, int] = {}
+
+        # ---- build ------------------------------------------------------
+        before = network.messages_sent
+        positions = generate_objects(self.distribution, self.num_objects,
+                                     RandomSource(self.seed + 3))
+        report = simulator.bulk_join(positions)
+        phase_messages["build"] = network.messages_sent - before
+
+        # ---- graceful churn --------------------------------------------
+        before = network.messages_sent
+        churn_joins, churn_leaves = self._run_churn()
+        phase_messages["churn"] = network.messages_sent - before
+
+        # ---- crash ------------------------------------------------------
+        victims = self.injector.crash_random(
+            int(round(self.crash_fraction * len(simulator))))
+        damage = self.injector.assess_damage()
+
+        # ---- detection --------------------------------------------------
+        self.faults.set_loss(self.loss_probability)
+        before = network.messages_sent
+        detection_rounds = 0
+        while detection_rounds < self.max_detection_rounds:
+            self.detector.run_round()
+            detection_rounds += 1
+            if (detection_rounds >= self.detector.miss_threshold
+                    and self._all_damage_suspected()):
+                break
+        phase_messages["detect"] = network.messages_sent - before
+
+        # ---- repair -----------------------------------------------------
+        before = network.messages_sent
+        repair = self.repairer.repair(self.max_repair_rounds)
+        self.faults.set_loss(0.0)
+        phase_messages["repair"] = network.messages_sent - before
+        for phase, count in repair.phase_messages.items():
+            phase_messages[f"repair:{phase}"] = count
+
+        # ---- verification ----------------------------------------------
+        problems = simulator.verify_views()
+        residual = self.injector.assess_damage()
+        converged = (repair.converged and not problems
+                     and residual.total_stale_entries == 0)
+        simulator.metrics.observe("repair_rounds", repair.rounds)
+        simulator.metrics.observe("detection_rounds", detection_rounds)
+        return ProtocolChurnReport(
+            objects_built=len(report.object_ids),
+            churn_joins=churn_joins, churn_leaves=churn_leaves,
+            crashed=len(victims),
+            damage=damage, residual_damage=residual,
+            detection_rounds=detection_rounds,
+            repair=repair,
+            phase_messages=phase_messages,
+            verify_problems=len(problems),
+            converged=converged,
+            virtual_time=simulator.engine.now,
+        )

@@ -6,16 +6,30 @@ message to the network, the network schedules its delivery after a latency
 drawn from the configured :class:`LatencyModel`, and the recipient's
 registered handler is invoked at delivery time.  The network keeps the
 per-type message counters that maintenance-cost experiments report.
+
+Fault injection
+---------------
+A :class:`~repro.simulation.faults.FaultPlane` can be attached (via the
+``faults`` constructor argument or the :attr:`Network.faults` attribute).
+When present, every non-local send is submitted to its
+:meth:`~repro.simulation.faults.FaultPlane.decide` hook, which may drop the
+message (crashed endpoint, partition cut, probabilistic loss) or stretch
+its delivery latency.  Dropped messages still count as *sent* — the sender
+paid for them — and are tallied in :attr:`Network.messages_lost`, separate
+from :attr:`Network.messages_dropped` (no handler at delivery time).
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.simulation.engine import SimulationEngine
 from repro.utils.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.simulation.faults import FaultPlane
 
 __all__ = ["Message", "LatencyModel", "ConstantLatency", "UniformLatency", "Network"]
 
@@ -84,13 +98,19 @@ class Network:
     """Delivers messages between registered handlers via the event engine."""
 
     def __init__(self, engine: SimulationEngine,
-                 latency: Optional[LatencyModel] = None) -> None:
+                 latency: Optional[LatencyModel] = None,
+                 faults: Optional["FaultPlane"] = None) -> None:
         self._engine = engine
         self._latency = latency if latency is not None else ConstantLatency(1.0)
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        #: Optional fault-injection hook (see the module docstring); any
+        #: object with a ``decide(message, now)`` method returning a
+        #: decision with ``deliver`` / ``extra_delay`` attributes works.
+        self.faults = faults
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_lost = 0
         self.sent_by_kind: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -120,7 +140,14 @@ class Network:
             return
         self.messages_sent += 1
         self.sent_by_kind[message.kind] = self.sent_by_kind.get(message.kind, 0) + 1
-        delay = self._latency.sample(message)
+        extra_delay = 0.0
+        if self.faults is not None:
+            decision = self.faults.decide(message, self._engine.now)
+            if not decision.deliver:
+                self.messages_lost += 1
+                return
+            extra_delay = decision.extra_delay
+        delay = self._latency.sample(message) + extra_delay
         self._engine.schedule(delay, lambda: self._deliver(message),
                               label=message.kind)
 
@@ -139,6 +166,7 @@ class Network:
             "sent": self.messages_sent,
             "delivered": self.messages_delivered,
             "dropped": self.messages_dropped,
+            "lost": self.messages_lost,
         }
         counters.update({f"kind:{k}": v for k, v in self.sent_by_kind.items()})
         return counters

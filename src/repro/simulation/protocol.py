@@ -45,6 +45,15 @@ analogue of the oracle's epoch-cached routing tables.  The
 ``use_node_routing_cache`` configuration switch keeps the per-hop dict
 assembly baseline for parity tests; answers are identical either way.
 
+Fault tolerance
+---------------
+Crash/loss/partition injection and the self-healing protocol live in
+:mod:`repro.simulation.faults`.  The message side is implemented here as
+ordinary handlers — ``PING``/``PONG`` heartbeats, ``SUSPECT_NOTIFY``
+suspicion gossip, ``VIEW_SCRUB`` view repair, and the reuse of the routed
+``SEARCH_LONG_LINK`` machinery to re-resolve dangling long links — each
+respecting the ``view_epoch`` contract above.
+
 The oracle-mode overlay (:class:`repro.core.overlay.VoroNet`) is the fast
 path for large sweeps; integration tests check that both executions produce
 the same neighbour structure on identical inputs.
@@ -53,7 +62,7 @@ the same neighbour structure on identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -67,6 +76,9 @@ from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.network import ConstantLatency, LatencyModel, Message, Network
 from repro.simulation.trace import TraceRecorder
 from repro.utils.rng import RandomSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.simulation.faults import FaultPlane
 
 __all__ = ["ProtocolSimulator", "ProtocolNode", "JoinReport", "LeaveReport",
            "QueryReport", "BulkJoinReport"]
@@ -164,6 +176,21 @@ class ProtocolNode:
     pending_long_links: int = 0
     view_epoch: int = 0
     view_version: int = -1
+    #: Failure-detection bookkeeping (driven by the fault subsystem,
+    #: :mod:`repro.simulation.faults`).  ``last_heard`` maps a monitored
+    #: peer to the newest heartbeat round it answered, ``missed_heartbeats``
+    #: counts its consecutive unanswered rounds, and ``suspects`` is this
+    #: node's local list of peers presumed crashed.  None of these are part
+    #: of the routing view, so they never bump ``view_epoch``.
+    last_heard: Dict[int, int] = field(default_factory=dict)
+    missed_heartbeats: Dict[int, int] = field(default_factory=dict)
+    suspects: Set[int] = field(default_factory=set)
+    #: Peers exonerated after being suspected (their PONG refuted the
+    #: suspicion).  Suspicion scrubbed their close entry destructively, so
+    #: the repair protocol's close re-discovery must revisit this node
+    #: even once its suspect list is empty; the repair round clears the
+    #: set after re-discovering.
+    rehabilitated: Set[int] = field(default_factory=set)
     _block_epoch: int = field(default=-1, repr=False, init=False)
     _block: Optional[List[Tuple[int, float, float]]] = field(default=None, repr=False,
                                                              init=False)
@@ -200,18 +227,30 @@ class ProtocolNode:
         return self._block
 
     def greedy_next_hop(self, target: Point) -> Optional[int]:
-        """Neighbour strictly closer to ``target`` than this node, if any."""
+        """Neighbour strictly closer to ``target`` than this node, if any.
+
+        Peers on the local suspect list are never selected: forwarding to a
+        presumed-crashed node would silently lose the message, so routed
+        repair traffic (and any operation racing a repair) detours around
+        suspects instead.  Suspicion is not view state, so the cached
+        routing block is filtered at selection time rather than rebuilt.
+        """
         tx, ty = target
         px, py = self.position
         best = None
         best_d = (px - tx) * (px - tx) + (py - ty) * (py - ty)
+        suspects = self.suspects if self.suspects else None
         if self.simulator.config.use_node_routing_cache:
             for neighbor, x, y in self.routing_block():
+                if suspects is not None and neighbor in suspects:
+                    continue
                 d = (x - tx) * (x - tx) + (y - ty) * (y - ty)
                 if d < best_d:
                     best, best_d = neighbor, d
         else:
             for neighbor, (x, y) in self.routing_candidates().items():
+                if suspects is not None and neighbor in suspects:
+                    continue
                 d = (x - tx) * (x - tx) + (y - ty) * (y - ty)
                 if d < best_d:
                     best, best_d = neighbor, d
@@ -221,6 +260,64 @@ class ProtocolNode:
         """Total number of entries stored at this object."""
         return (len(self.voronoi) + len(self.close) + len(self.long_links)
                 + len(self.back_links))
+
+    def monitored_peers(self) -> Set[int]:
+        """Every peer this node holds a reference to, and therefore monitors.
+
+        The heartbeat detector pings exactly this set: Voronoi neighbours,
+        close neighbours, long-link endpoints *and* back-link sources — a
+        crash is only observable by the nodes left holding a reference to
+        the victim, so monitoring the full reference set is what makes
+        detection complete.
+        """
+        peers = set(self.voronoi) | set(self.close)
+        peers.update(link.neighbor for link in self.long_links)
+        peers.update(source for source, _index in self.back_links)
+        peers.discard(self.object_id)
+        return peers
+
+    def references(self, peer: int) -> bool:
+        """Whether any local view entry still points at ``peer``."""
+        return (peer in self.voronoi or peer in self.close
+                or any(link.neighbor == peer for link in self.long_links)
+                or any(source == peer for source, _index in self.back_links))
+
+    def apply_suspicion(self, peers: Set[int]) -> bool:
+        """Locally scrub state that only serves a now-suspected peer.
+
+        Close entries for suspects and back registrations *sourced* at
+        suspects are dropped: both are pure services to the peer, so a
+        node presuming it dead stops providing them — a local decision
+        needing no message, like the paper's local functions.  A false
+        suspicion costs only a close entry, which the repair protocol's
+        grid-seeded re-discovery (and the peer's own declarations)
+        restores.  Voronoi entries are *not* touched here: replacing them
+        needs a fresh consistent view, which only a version-stamped
+        ``VIEW_SCRUB``/``REGION_UPDATE`` can deliver.  Returns whether the
+        view changed (the epoch is bumped if so).
+        """
+        changed = False
+        for peer in peers:
+            if self.close.pop(peer, None) is not None:
+                changed = True
+        stale_back = [key for key in self.back_links if key[0] in peers]
+        for key in stale_back:
+            del self.back_links[key]
+            changed = True
+        if changed:
+            self.touch_view()
+        return changed
+
+    def gc_suspects(self) -> None:
+        """Drop suspects no longer referenced by any local view entry.
+
+        Called by the repair driver after a round drains: once every stale
+        reference to a suspect has been scrubbed or retargeted, the node's
+        part in that suspect's repair is over.  A suspect with a surviving
+        reference is kept, which is what makes repair retry-safe when
+        repair messages are themselves lost.
+        """
+        self.suspects = {peer for peer in self.suspects if self.references(peer)}
 
     # ------------------------------------------------------------------
     # message handling
@@ -398,6 +495,119 @@ class ProtocolNode:
         self.back_links.pop((payload["source"], payload["link_index"]), None)
         self.touch_view()
 
+    # ---------------- failure detection & repair ------------------------
+    # The handlers below implement the message side of the fault subsystem
+    # (:mod:`repro.simulation.faults`): heartbeat probing, suspicion
+    # gossip, and view scrubbing.  Every view-mutating one bumps the view
+    # epoch, per the routing-cache contract.
+    def _on_ping(self, message: Message) -> None:
+        self.simulator.send(self, message.sender, "PONG",
+                            {"round": message.payload["round"]})
+
+    def _on_pong(self, message: Message) -> None:
+        peer = message.sender
+        self.last_heard[peer] = message.payload["round"]
+        self.missed_heartbeats.pop(peer, None)
+        # A live peer answering a probe refutes any standing suspicion of
+        # it (false positives from lost heartbeats heal themselves here).
+        # The suspicion already scrubbed state destructively, so remember
+        # the exoneration for the repair round's close re-discovery.
+        if peer in self.suspects:
+            self.suspects.discard(peer)
+            self.rehabilitated.add(peer)
+
+    def _on_suspect_notify(self, message: Message) -> None:
+        # Accusations are only adopted when corroborated by local evidence
+        # (standing suspicion, or at least one missed heartbeat of our
+        # own).  Adopting them blindly would let one false suspicion — a
+        # couple of heartbeats lost to an unreliable network — infect the
+        # whole neighbourhood faster than probing exonerates it.
+        accused = set(message.payload["suspects"])
+        accused.discard(self.object_id)
+        corroborated = {peer for peer in accused
+                        if peer in self.suspects
+                        or self.missed_heartbeats.get(peer, 0) > 0}
+        if corroborated:
+            self.suspects |= corroborated
+            self.apply_suspicion(corroborated)
+
+    def _on_view_scrub(self, message: Message) -> None:
+        payload = message.payload
+        crashed = set(payload["crashed"])
+        crashed.discard(self.object_id)
+        # Same corroboration rule as SUSPECT_NOTIFY: the version-stamped
+        # view below is kernel truth either way, but close/back scrubbing
+        # of the listed ids only happens with local evidence.
+        corroborated = {peer for peer in crashed
+                        if peer in self.suspects
+                        or self.missed_heartbeats.get(peer, 0) > 0}
+        version = payload.get("version", self.view_version)
+        changed = False
+        if version >= self.view_version:
+            self.voronoi = dict(payload["voronoi"])
+            self.view_version = version
+            changed = True
+        else:
+            # Overtaken snapshot: keep the fresher view but still scrub
+            # the corroborated ids.
+            for peer in corroborated:
+                if self.voronoi.pop(peer, None) is not None:
+                    changed = True
+        self.suspects |= corroborated
+        if self.apply_suspicion(corroborated):
+            changed = True
+        # Re-check hosted registrations against the refreshed view: a crash
+        # may have routed a repair search to this node while its view was
+        # still stale, leaving it holding a link whose target a neighbour
+        # is strictly closer to.  Handing such links one greedy step over
+        # (the generalised Section 3.3 hand-over) moves every mis-held
+        # registration monotonically towards the target's true owner.
+        for key, target in list(self.back_links.items()):
+            best_id, best_d = None, distance(self.position, target)
+            for neighbor, position in self.voronoi.items():
+                d = distance(position, target)
+                if d < best_d:
+                    best_id, best_d = neighbor, d
+            if best_id is None or best_id in self.suspects:
+                continue
+            del self.back_links[key]
+            source, link_index = key
+            self.simulator.send(self, best_id, "BACKLINK_TRANSFER",
+                                {"source": source, "link_index": link_index,
+                                 "target": target})
+            self.simulator.send(self, source, "LONG_LINK_RETARGET",
+                                {"link_index": link_index, "neighbor": best_id,
+                                 "neighbor_position": self.voronoi[best_id]})
+            changed = True
+        if changed:
+            self.touch_view()
+
+    def reissue_long_link(self, index: int, seed: Optional[int] = None) -> None:
+        """Re-run the routed ``SEARCH_LONG_LINK`` for one dangling link.
+
+        The repair protocol's ``LONG_LINK_RETARGET`` path: the link's fixed
+        target point is re-resolved through the exact machinery a join
+        uses — greedy routing to the target's region owner, which registers
+        the back link and answers ``LONG_LINK_ESTABLISHED``.  The search
+        starts at this node by default; a repair retry under message loss
+        passes a locate-grid ``seed`` next to the target instead (the
+        ``bulk_join`` phase-5 idiom), shrinking the number of messages the
+        lossy network must deliver for the attempt to land.  An endpoint
+        still believed alive is asked to drop its now-superseded back
+        registration first (for a suspected endpoint the message would
+        only feed the fault plane).
+        """
+        link = self.long_links[index]
+        if (link.neighbor != self.object_id
+                and link.neighbor not in self.suspects):
+            self.simulator.send(self, link.neighbor, "BACKLINK_REMOVE",
+                                {"source": self.object_id, "link_index": index})
+        self.pending_long_links += 1
+        start = seed if seed is not None else self.object_id
+        self.simulator.send(self, start, "SEARCH_LONG_LINK",
+                            {"target": link.target, "requester": self.object_id,
+                             "link_index": index, "hops": 0})
+
     # ---------------- queries ------------------------------------------
     def _on_query(self, message: Message) -> None:
         payload = message.payload
@@ -429,6 +639,10 @@ class ProtocolSimulator:
     seed:
         Seed of the simulator's random source (long-link targets,
         introducer selection).
+    faults:
+        Optional :class:`~repro.simulation.faults.FaultPlane` attached to
+        the network layer; crash/loss/partition decisions are applied to
+        every protocol message.
 
     Examples
     --------
@@ -441,10 +655,12 @@ class ProtocolSimulator:
     def __init__(self, config: Optional[VoroNetConfig] = None, *,
                  latency: Optional[LatencyModel] = None,
                  seed: Optional[int] = None,
-                 trace: Optional[TraceRecorder] = None) -> None:
+                 trace: Optional[TraceRecorder] = None,
+                 faults: Optional["FaultPlane"] = None) -> None:
         self.config = config if config is not None else VoroNetConfig()
         self.engine = SimulationEngine()
-        self.network = Network(self.engine, latency or ConstantLatency(1.0))
+        self.network = Network(self.engine, latency or ConstantLatency(1.0),
+                               faults=faults)
         self.metrics = MetricsRegistry()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.rng = RandomSource(seed if seed is not None else self.config.seed)
@@ -459,6 +675,11 @@ class ProtocolSimulator:
     # ------------------------------------------------------------------
     # plumbing used by nodes
     # ------------------------------------------------------------------
+    @property
+    def faults(self) -> Optional["FaultPlane"]:
+        """The fault plane attached to the network layer, if any."""
+        return self.network.faults
+
     def send(self, sender: ProtocolNode, recipient: int, kind: str,
              payload: Dict) -> None:
         """Send one protocol message from ``sender`` to ``recipient``."""

@@ -73,6 +73,18 @@ class TraceRecorder:
         """Number of records of the given kind."""
         return sum(1 for r in self._records if r.kind == kind)
 
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Record counts per kind — a one-glance summary of a run.
+
+        Fault experiments lean on this: a harness run leaves ``crash``,
+        ``suspect`` and ``repair_round`` records whose counts are the
+        cheapest possible convergence cross-check.
+        """
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
     def last(self, kind: str) -> Optional[TraceRecord]:
         """The most recent record of the given kind, or ``None``."""
         for record in reversed(self._records):

@@ -2,6 +2,10 @@
 
 import pytest
 
+from repro.experiments.ablation_churn_protocol import (
+    format_churn_protocol,
+    run_ablation_churn_protocol,
+)
 from repro.experiments.ablation_close_neighbors import format_ablation_close, run_ablation_close
 from repro.experiments.ablation_maintenance import format_maintenance, run_maintenance_experiment
 from repro.experiments.common import checkpoint_schedule, evaluation_distributions, scaled
@@ -56,6 +60,22 @@ class TestFigureDrivers:
             assert len(series) == len(sweep.checkpoints)
             assert all(point.stats.failures == 0 for point in series)
 
+    def test_fig6_protocol_mode_ground_truth(self):
+        """The message-level sweep: bulk-joined overlays, greedy QUERY
+        walks over strictly local views, every route reaching its exact
+        destination — and the fig7 fit consumes it unchanged."""
+        sweep = run_fig6(scale=0.05, use_protocol=True)
+        assert len(sweep.checkpoints) >= 3
+        for series in sweep.series.values():
+            assert len(series) == len(sweep.checkpoints)
+            assert all(point.stats.failures == 0 for point in series)
+            # Routes lengthen with overlay size (poly-log growth).
+            assert series[-1].mean_hops > series[0].mean_hops * 0.9
+        fit = run_fig7(sweep=sweep)
+        assert set(fit.fits) == set(sweep.series)
+        with pytest.raises(ValueError):
+            run_fig6(scale=0.05, use_protocol=True, use_long_links=False)
+
     def test_fig8_small_scale(self):
         result = run_fig8(scale=0.05, link_counts=(1, 3, 6))
         assert result.link_counts == [1, 3, 6]
@@ -75,12 +95,25 @@ class TestFigureDrivers:
         assert result.protocol_join_messages > 0
         assert "ABL3" in format_maintenance(result)
 
+    def test_churn_protocol_small_scale(self):
+        result = run_ablation_churn_protocol(scale=0.15,
+                                             crash_fractions=(0.05, 0.15))
+        assert result.crash_fractions == [0.05, 0.15]
+        assert result.all_converged
+        for report in result.reports.values():
+            assert report.verify_problems == 0
+            assert report.damage.total_stale_entries > 0
+            assert report.phase_messages["repair"] > 0
+        text = format_churn_protocol(result)
+        assert "ABL4" in text and "converged" in text
+
 
 class TestRunner:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig5", "fig6", "fig7", "fig8",
             "abl1-close", "abl2-baselines", "abl3-maintenance",
+            "abl4-churn-protocol",
         }
 
     def test_cli_runs_one_experiment(self, capsys):

@@ -52,6 +52,60 @@ class TestChurnScheduler:
         assert scheduler.leaves_executed == 0
         assert counter["joins"] == scheduler.joins_executed
 
+    def test_merged_stream_interleaves_joins_and_leaves(self):
+        """One merged arrival process: at equal rates the two kinds mix
+        throughout the horizon instead of all joins sorting before all
+        leaves at equal timestamps (the two-stream failure mode)."""
+        engine = SimulationEngine()
+        order = []
+        scheduler = ChurnScheduler(
+            engine,
+            join=lambda p: order.append("join"),
+            leave=lambda: order.append("leave"),
+            join_rate=3.0, leave_rate=3.0,
+            rng=RandomSource(11),
+        )
+        scheduled = scheduler.start(horizon=40.0)
+        engine.run()
+        assert scheduled == len(order)
+        first_leave = order.index("leave")
+        last_join = len(order) - 1 - order[::-1].index("join")
+        assert first_leave < last_join  # genuinely interleaved
+
+    def test_start_is_relative_to_a_warm_clock(self):
+        engine = SimulationEngine()
+        engine.schedule(25.0, lambda: None)
+        engine.run()
+        assert engine.now == 25.0
+        fired = []
+        scheduler = ChurnScheduler(
+            engine, join=lambda p: fired.append(engine.now),
+            leave=lambda: fired.append(engine.now),
+            join_rate=2.0, leave_rate=1.0, rng=RandomSource(4),
+        )
+        scheduler.start(horizon=10.0)
+        engine.run()
+        assert fired
+        assert all(25.0 < time <= 35.0 for time in fired)
+
+    def test_stop_cancels_pending_events(self):
+        engine = SimulationEngine()
+        executed = {"count": 0}
+        scheduler = ChurnScheduler(
+            engine,
+            join=lambda p: executed.__setitem__("count", executed["count"] + 1),
+            leave=lambda: executed.__setitem__("count", executed["count"] + 1),
+            join_rate=2.0, leave_rate=1.0, rng=RandomSource(5),
+        )
+        scheduled = scheduler.start(horizon=30.0)
+        engine.run_until(10.0)
+        ran = executed["count"]
+        cancelled = scheduler.stop()
+        assert cancelled == scheduled - ran
+        engine.run()
+        assert executed["count"] == ran  # nothing stale drained afterwards
+        assert engine.quiescent
+
 
 class TestCrashInjector:
     @pytest.fixture
@@ -84,6 +138,22 @@ class TestCrashInjector:
         report = injector.assess_damage()
         assert report.total_stale_entries == 0
 
+    def test_crashes_leave_dangling_back_links(self, overlay):
+        """The reverse pointers of crashed sources are damage too —
+        invisible to the per-node views but carried by survivors."""
+        injector = CrashInjector(overlay, rng=RandomSource(1))
+        injector.crash_random(30)
+        report = injector.assess_damage()
+        assert report.dangling_back_links > 0
+        assert report.total_stale_entries >= (
+            report.dangling_long_links + report.stale_close_neighbors
+            + report.dangling_back_links)
+        crashed = set(injector._crashed)  # noqa: SLF001 - test introspection
+        counted = sum(
+            1 for oid in overlay.object_ids()
+            for bl in overlay.node(oid).back_links if bl.source in crashed)
+        assert counted == report.dangling_back_links
+
     def test_repair_fixes_dangling_links(self, overlay):
         injector = CrashInjector(overlay, rng=RandomSource(1))
         injector.crash_random(25)
@@ -92,6 +162,10 @@ class TestCrashInjector:
         report = injector.assess_damage()
         assert report.dangling_long_links == 0
         assert report.stale_close_neighbors == 0
+        assert report.dangling_back_links == 0
+        crashed = set(injector._crashed)  # noqa: SLF001 - test introspection
+        for oid in overlay.object_ids():
+            assert not {bl.source for bl in overlay.node(oid).back_links} & crashed
 
     def test_routing_still_works_after_repair(self, overlay, numpy_rng):
         injector = CrashInjector(overlay, rng=RandomSource(1))

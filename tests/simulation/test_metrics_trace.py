@@ -54,6 +54,14 @@ class TestTraceRecorder:
         assert trace.count("send") == 2
         assert len(trace.records("send", predicate=lambda r: r.details["sender"] == 2)) == 1
 
+    def test_counts_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send")
+        trace.record(1.0, "send")
+        trace.record(2.0, "crash")
+        assert trace.counts_by_kind() == {"send": 2, "crash": 1}
+        assert TraceRecorder().counts_by_kind() == {}
+
     def test_capacity_eviction(self):
         trace = TraceRecorder(capacity=3)
         for i in range(5):

@@ -39,6 +39,28 @@ class TestTraceGeneration:
             generate_churn_trace(5, RandomSource(4), warmup_joins=10)
         with pytest.raises(ValueError):
             generate_churn_trace(50, RandomSource(4), leave_probability=1.0)
+        with pytest.raises(ValueError):
+            generate_churn_trace(50, RandomSource(4), crash_probability=1.0)
+        with pytest.raises(ValueError):
+            generate_churn_trace(50, RandomSource(4), leave_probability=0.6,
+                                 crash_probability=0.5)
+
+    def test_crash_probability_mixes_in_crashes(self):
+        trace = generate_churn_trace(300, RandomSource(6),
+                                     leave_probability=0.2,
+                                     crash_probability=0.2)
+        assert trace.crash_count > 0
+        assert trace.join_count + trace.leave_count + trace.crash_count == 300
+
+    def test_zero_crash_probability_preserves_trace_stream(self):
+        """crash_probability=0 must reproduce pre-existing traces exactly."""
+        baseline = generate_churn_trace(120, RandomSource(7),
+                                        leave_probability=0.3)
+        with_flag = generate_churn_trace(120, RandomSource(7),
+                                         leave_probability=0.3,
+                                         crash_probability=0.0)
+        assert baseline == with_flag
+        assert with_flag.crash_count == 0
 
     def test_population_never_goes_negative(self):
         trace = generate_churn_trace(200, RandomSource(5), leave_probability=0.49)
@@ -62,3 +84,39 @@ class TestReplay:
         trace = generate_churn_trace(40, RandomSource(8), leave_probability=0.0)
         alive = replay_churn(overlay, trace, RandomSource(9))
         assert len(alive) == 40
+
+    def test_replay_requires_crash_callable_for_crash_events(self):
+        overlay = VoroNet(VoroNetConfig(n_max=400, seed=10))
+        trace = generate_churn_trace(120, RandomSource(10),
+                                     leave_probability=0.1,
+                                     crash_probability=0.3)
+        with pytest.raises(ValueError):
+            replay_churn(overlay, trace, RandomSource(11))
+
+    def test_replay_hands_crash_victims_to_the_injector(self):
+        from repro.simulation.failures import CrashInjector
+
+        overlay = VoroNet(VoroNetConfig(n_max=600, seed=12))
+        trace = generate_churn_trace(150, RandomSource(12),
+                                     leave_probability=0.1,
+                                     crash_probability=0.25,
+                                     warmup_joins=30)
+        injector = CrashInjector(overlay)
+        damage_seen = {"stale": 0}
+
+        def crash_and_repair(victim):
+            # Interleaved joins route over survivor views, so the
+            # anti-entropy pass must keep up with the crash stream —
+            # unrepaired dangling references are live routing hazards.
+            injector.crash(victim)
+            damage_seen["stale"] += injector.assess_damage().total_stale_entries
+            injector.repair()
+
+        alive = replay_churn(overlay, trace, RandomSource(13),
+                             crash=crash_and_repair)
+        assert set(alive) == set(overlay.object_ids())
+        report = injector.assess_damage()
+        assert report.crashed == trace.crash_count
+        assert damage_seen["stale"] > 0
+        assert report.total_stale_entries == 0
+        assert overlay.check_consistency() == []
