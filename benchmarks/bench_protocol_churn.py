@@ -47,13 +47,15 @@ def run_protocol_churn(num_objects: int = DEFAULT_OBJECTS,
                        crash_fraction: float = DEFAULT_CRASH_FRACTION,
                        churn_events: int = 48,
                        loss_probability: float = 0.0,
-                       max_repair_rounds: int = DEFAULT_MAX_REPAIR_ROUNDS) -> dict:
+                       max_repair_rounds: int = DEFAULT_MAX_REPAIR_ROUNDS,
+                       measure_liveness: bool = True) -> dict:
     """Run the harness once and return the JSON-serialisable bench record."""
     harness = ProtocolChurnHarness(
         num_objects=num_objects, seed=seed,
         crash_fraction=crash_fraction, churn_events=churn_events,
         loss_probability=loss_probability,
         max_repair_rounds=max_repair_rounds,
+        measure_liveness=measure_liveness,
     )
     started = time.perf_counter()
     report = harness.run()
@@ -89,6 +91,7 @@ def run_protocol_churn(num_objects: int = DEFAULT_OBJECTS,
         "verify_problems": report.verify_problems,
         "converged": report.converged,
         "virtual_time": round(report.virtual_time, 2),
+        "steady_state_liveness": report.steady_state_liveness,
     }
 
 
@@ -103,7 +106,7 @@ def record_ok(record: dict) -> bool:
 def format_protocol_churn(record: dict) -> str:
     """One-paragraph human rendering of a bench record."""
     damage = record["damage_before_repair"]
-    return (
+    text = (
         f"Protocol churn @ {record['objects']} objects: "
         f"{record['crashed']} crashed ({record['crash_fraction']:.0%}) after "
         f"{record['churn_joins']}+{record['churn_leaves']} churn ops — "
@@ -116,6 +119,16 @@ def format_protocol_churn(record: dict) -> str:
         f"verify problems {record['verify_problems']}, "
         f"converged: {record['converged']}"
     )
+    steady = record.get("steady_state_liveness")
+    if steady:
+        text += (
+            f"; steady-state liveness over {steady['rounds']:.0f} rounds "
+            f"(+{steady['queries_per_round']:.0f} queries/round): "
+            f"{steady['full_probe_messages']:.0f} full-probe → "
+            f"{steady['piggyback_messages']:.0f} piggyback+sampled msgs "
+            f"({steady['reduction']:.1f}× fewer)"
+        )
+    return text
 
 
 def test_protocol_churn_repair_converges(benchmark, bench_scale):
@@ -133,6 +146,9 @@ def test_protocol_churn_repair_converges(benchmark, bench_scale):
     # Detection is bounded by the miss threshold plus slack; repair of a
     # loss-free crash wave settles in a couple of phased rounds.
     assert record["repair_rounds"] <= 4
+    # Piggy-backed/sampled liveness must stay well under the full-probe
+    # steady-state cost (the canonical record shows ≥5× at N=1000).
+    assert record["steady_state_liveness"]["reduction"] >= 3.0
 
 
 def main(argv=None) -> int:
@@ -150,6 +166,9 @@ def main(argv=None) -> int:
     parser.add_argument("--max-repair-rounds", type=int,
                         default=DEFAULT_MAX_REPAIR_ROUNDS,
                         help="round budget the convergence assertion enforces")
+    parser.add_argument("--min-liveness-reduction", type=float, default=None,
+                        help="fail unless the steady-state liveness message "
+                             "reduction (full-probe / piggyback) ≥ this")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the JSON bench record here")
     args = parser.parse_args(argv)
@@ -170,6 +189,12 @@ def main(argv=None) -> int:
               f"verify={record['verify_problems']}, "
               f"residual={record['residual_stale_entries']})")
         return 1
+    if args.min_liveness_reduction is not None:
+        reduction = record["steady_state_liveness"]["reduction"]
+        if reduction < args.min_liveness_reduction:
+            print(f"FAIL: steady-state liveness reduction {reduction:.2f} "
+                  f"< {args.min_liveness_reduction}")
+            return 1
     return 0
 
 

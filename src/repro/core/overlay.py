@@ -277,6 +277,7 @@ class VoroNet:
         entry = self._routing_tables[use_long_links].get(object_id)
         if entry is not None and entry[0] == self._topology_epoch:
             return entry
+        self._stats.routing_table_rebuilds += 1
         node = self.node(object_id)
         candidates = set(self._triangulation.neighbors(object_id))
         candidates.update(node.close_neighbors)

@@ -59,13 +59,21 @@ class OperationStats:
 
 @dataclass
 class OverlayStats:
-    """All per-overlay statistics, grouped by operation type."""
+    """All per-overlay statistics, grouped by operation type.
+
+    ``routing_table_rebuilds`` counts how many per-object flat routing
+    tables were (re)built after a topology-epoch bump — the measurable
+    baseline for the ROADMAP's per-shard-epoch follow-up: a global epoch
+    invalidates every table on any churn, and this counter is exactly the
+    rebuild work that coarse invalidation causes.
+    """
 
     joins: OperationStats = field(default_factory=OperationStats)
     leaves: OperationStats = field(default_factory=OperationStats)
     routes: OperationStats = field(default_factory=OperationStats)
     queries: OperationStats = field(default_factory=OperationStats)
     long_link_searches: OperationStats = field(default_factory=OperationStats)
+    routing_table_rebuilds: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark phases)."""
@@ -74,21 +82,30 @@ class OverlayStats:
         self.routes = OperationStats()
         self.queries = OperationStats()
         self.long_link_searches = OperationStats()
+        self.routing_table_rebuilds = 0
 
-    def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """Nested plain-dict summary of every operation type."""
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict summary: per-operation stat dicts plus flat counters.
+
+        Values are per-operation dicts for the operation groups and a bare
+        int for ``routing_table_rebuilds``.
+        """
         return {
             "joins": self.joins.as_dict(),
             "leaves": self.leaves.as_dict(),
             "routes": self.routes.as_dict(),
             "queries": self.queries.as_dict(),
             "long_link_searches": self.long_link_searches.as_dict(),
+            "routing_table_rebuilds": self.routing_table_rebuilds,
         }
 
     def describe(self) -> List[str]:
         """Human-readable one-line-per-operation summary."""
         lines = []
         for name, stats in self.as_dict().items():
+            if not isinstance(stats, dict):
+                lines.append(f"{name:>19}: {stats}")
+                continue
             lines.append(
                 f"{name:>19}: count={stats['count']:<8.0f}"
                 f" mean_hops={stats['mean_hops']:<7.2f}"

@@ -61,6 +61,7 @@ from repro.simulation.failures import ChurnScheduler, CrashDamageReport, CrashIn
 from repro.simulation.faults import (
     FaultDecision,
     FaultPlane,
+    HeartbeatConfig,
     HeartbeatDetector,
     PartitionSpec,
     ProtocolChurnHarness,
@@ -91,6 +92,7 @@ __all__ = [
     "CrashInjector",
     "FaultDecision",
     "FaultPlane",
+    "HeartbeatConfig",
     "HeartbeatDetector",
     "PartitionSpec",
     "ProtocolChurnHarness",

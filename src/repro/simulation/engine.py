@@ -1,22 +1,59 @@
 """The discrete-event simulation engine.
 
-A minimal but complete event-driven core: a priority queue of
-:class:`~repro.simulation.events.Event` objects ordered by virtual time,
-with deterministic tie-breaking, cancellation, bounded runs and basic
-accounting.  All higher layers (the network, churn injection, the VoroNet
-protocol) only ever talk to :meth:`SimulationEngine.schedule` and
-:meth:`SimulationEngine.run`.
+A minimal but complete event-driven core: a priority queue ordered by
+virtual time with deterministic tie-breaking, cancellation, bounded runs
+and basic accounting.  All higher layers (the network, churn injection,
+the VoroNet protocol) only ever talk to :meth:`SimulationEngine.schedule`
+and :meth:`SimulationEngine.run`.
+
+Hot-path design
+---------------
+The engine is the floor under every message-level experiment, so the inner
+loop is deliberately flat.  The heap stores 4-tuples
+``(time, sequence, action, arg)`` — compared entirely at C level by
+``heapq``, since the unique ``(time, sequence)`` prefix settles every
+comparison — and comes in two flavours:
+
+* **API entries** carry a cancellable :class:`Event` in the action slot
+  (marked by the sentinel arg ``_EVENT_ENTRY``): what :meth:`schedule` /
+  :meth:`schedule_call` return, supporting ``cancel()`` and inspection.
+* **Raw entries** carry a bare ``(callable, argument)`` pair: the
+  network's per-message delivery fast path (:meth:`push_call`), which
+  allocates nothing but the tuple.  Raw entries cannot be cancelled
+  individually — the network voids in-flight deliveries wholesale through
+  :meth:`cancel_actions` (on ``unregister``), which rebuilds the heap.
+
+Quiescence — the phase barrier of ``bulk_join`` and the repair protocol —
+is O(1): a counter of cancelled-but-still-queued events is maintained
+incrementally, and the queue is compacted in place when cancelled entries
+outnumber live ones, so mass cancellation (churn teardown, heartbeat
+``stop``) cannot leave the heap dominated by dead entries.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
-from repro.simulation.events import Event
+from repro.simulation.events import NO_ARG, Event
 
 __all__ = ["SimulationEngine"]
+
+#: Queues smaller than this are never compacted — rebuilding them costs
+#: more than lazily popping the handful of cancelled entries.
+_COMPACT_MIN_QUEUE = 64
+
+
+class _EventEntry:
+    """Sentinel: this heap entry's action slot holds an :class:`Event`."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "EVENT_ENTRY"
+
+
+_EVENT_ENTRY = _EventEntry()
 
 
 class SimulationEngine:
@@ -34,11 +71,18 @@ class SimulationEngine:
     ['a', 'b']
     """
 
+    __slots__ = ("_queue", "_sequence", "_now", "_processed", "_cancelled")
+
     def __init__(self) -> None:
-        self._queue: List[Event] = []
-        self._sequence = itertools.count()
+        self._queue: List[Tuple[float, int, Any, Any]] = []
+        self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        #: Cancelled events still sitting in the queue.  Maintained by
+        #: Event.cancel() (via ``_note_cancelled``), the pop paths and
+        #: compaction; ``quiescent`` is the O(1) comparison of this
+        #: against the queue length.
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     @property
@@ -57,25 +101,71 @@ class SimulationEngine:
         return len(self._queue)
 
     @property
+    def runnable_events(self) -> int:
+        """Number of non-cancelled events still queued (O(1))."""
+        return len(self._queue) - self._cancelled
+
+    @property
     def quiescent(self) -> bool:
-        """Whether no runnable (non-cancelled) event is pending.
+        """Whether no runnable (non-cancelled) event is pending — in O(1).
 
         Batched operations such as the protocol simulator's ``bulk_join``
         use this as a precondition: their phase barriers assume each
-        ``run()`` drained *their* messages, which only holds when nothing
-        unrelated was in flight to begin with.
+        drain consumed *their* messages, which only holds when nothing
+        unrelated was in flight to begin with.  The check compares the
+        incrementally maintained cancelled-event count against the queue
+        length, so polling it is free even with 10⁵ events queued.
         """
-        return not any(not event.cancelled for event in self._queue)
+        return len(self._queue) == self._cancelled
 
+    # ------------------------------------------------------------------
     def schedule(self, delay: float, action: Callable[[], None],
                  label: Optional[str] = None) -> Event:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        event = Event(time=self._now + delay, sequence=next(self._sequence),
-                      action=action, label=label)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, action, label)
+        event._engine = self
+        heapq.heappush(self._queue, (time, sequence, event, _EVENT_ENTRY))
         return event
+
+    def schedule_call(self, delay: float, action: Callable[[Any], None],
+                      arg: Any, label: Optional[str] = None) -> Event:
+        """Schedule ``action(arg)`` on a cancellable event.
+
+        Equivalent to ``schedule(delay, lambda: action(arg))`` without the
+        per-call closure allocation.  For fire-and-forget work that needs
+        no cancel handle at all (message delivery), :meth:`push_call` is
+        cheaper still.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(time, sequence, action, label, arg)
+        event._engine = self
+        heapq.heappush(self._queue, (time, sequence, event, _EVENT_ENTRY))
+        return event
+
+    def push_call(self, delay: float, action: Callable[[Any], None],
+                  arg: Any) -> None:
+        """Schedule ``action(arg)`` with no event object — the delivery path.
+
+        The entry is the bare heap tuple: nothing is allocated beyond it,
+        and the run loop invokes ``action(arg)`` without cancellation or
+        bookkeeping checks.  No handle is returned; such entries are only
+        removable wholesale via :meth:`cancel_actions`.  The caller
+        guarantees ``delay`` is non-negative (latency models and the fault
+        plane already enforce this).
+        """
+        time = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heapq.heappush(self._queue, (time, sequence, action, arg))
 
     def schedule_at(self, time: float, action: Callable[[], None],
                     label: Optional[str] = None) -> Event:
@@ -85,36 +175,152 @@ class SimulationEngine:
         return self.schedule(time - self._now, action, label)
 
     # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """An in-queue event was cancelled; compact when they dominate."""
+        self._cancelled += 1
+        if (self._cancelled * 2 > len(self._queue)
+                and len(self._queue) >= _COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, in place.
+
+        In place (slice assignment) so aliases of the queue held by a
+        running drain loop stay valid; discarded events are detached from
+        the engine so late ``cancel()`` calls on them cannot skew the
+        runnable accounting.
+        """
+        live = []
+        for entry in self._queue:
+            if entry[3] is _EVENT_ENTRY and entry[2].cancelled:
+                entry[2]._engine = None
+            else:
+                live.append(entry)
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def cancel_actions(self, action: Callable[..., None]) -> List[Any]:
+        """Remove every pending entry whose action is ``action`` (by identity).
+
+        Returns the removed entries' arguments (``NO_ARG`` for thunk
+        events), so the caller can account for what was voided.  Matches
+        both raw delivery entries and API events (the latter are marked
+        cancelled and dropped).  The network layer uses this on
+        ``unregister`` to void in-flight deliveries to a node that just
+        left or crashed — its delivery entries all carry the handler bound
+        at registration time.  The pass doubles as a compaction: already
+        cancelled events are dropped too (unreported).
+        """
+        removed: List[Any] = []
+        keep = []
+        for entry in self._queue:
+            target = entry[2]
+            if entry[3] is _EVENT_ENTRY:
+                if target.cancelled:
+                    target._engine = None
+                    continue
+                if target.action is action:
+                    target.cancelled = True
+                    target._engine = None
+                    removed.append(target.arg)
+                    continue
+            elif target is action:
+                removed.append(entry[3])
+                continue
+            keep.append(entry)
+        if len(keep) != len(self._queue):
+            self._queue[:] = keep
+            heapq.heapify(self._queue)
+        self._cancelled = 0
+        return removed
+
+    # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next pending event; returns False when none is left."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.fire()
+        queue = self._queue
+        while queue:
+            time, _sequence, action, arg = heapq.heappop(queue)
+            if arg is _EVENT_ENTRY:
+                event = action
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event._engine = None
+                self._now = time
+                event_arg = event.arg
+                if event_arg is NO_ARG:
+                    event.action()
+                else:
+                    event.action(event_arg)
+            else:
+                self._now = time
+                action(arg)
             self._processed += 1
             return True
         return False
 
     def run(self, max_events: Optional[int] = None) -> int:
         """Run until the queue drains (or ``max_events`` is hit); returns events run."""
+        queue = self._queue
+        pop = heapq.heappop
+        event_entry = _EVENT_ENTRY
+        no_arg = NO_ARG
         executed = 0
-        while self.step():
+        if max_events is None:
+            # The unbounded drain is the phase barrier of every protocol
+            # operation — inline the step loop so a message delivery costs
+            # one C-level tuple pop and one call.
+            while queue:
+                time, _sequence, action, arg = pop(queue)
+                if arg is event_entry:
+                    event = action
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    event._engine = None
+                    self._now = time
+                    arg = event.arg
+                    if arg is no_arg:
+                        event.action()
+                    else:
+                        event.action(arg)
+                else:
+                    self._now = time
+                    action(arg)
+                executed += 1
+            self._processed += executed
+            return executed
+        while executed < max_events and self.step():
             executed += 1
-            if max_events is not None and executed >= max_events:
-                break
         return executed
+
+    def run_until_quiescent(self, max_events: Optional[int] = None) -> int:
+        """Drain every runnable event; returns how many were executed.
+
+        The batched operations' phase barrier: ``bulk_join`` and the repair
+        protocol call this between phases so each phase observes the
+        complete effect of the previous one.  Functionally this is
+        :meth:`run` — the queue is drained until :attr:`quiescent` — but
+        the intent (barrier, not "run the simulation") is explicit at the
+        call sites.
+        """
+        return self.run(max_events)
 
     def run_until(self, time: float) -> int:
         """Run every event scheduled up to and including ``time``."""
         executed = 0
-        while self._queue:
-            upcoming = self._queue[0]
-            if upcoming.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[3] is _EVENT_ENTRY and head[2].cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                head[2]._engine = None
                 continue
-            if upcoming.time > time:
+            if head[0] > time:
                 break
             self.step()
             executed += 1
@@ -123,6 +329,10 @@ class SimulationEngine:
 
     def reset(self) -> None:
         """Drop every pending event and rewind the clock to zero."""
+        for entry in self._queue:
+            if entry[3] is _EVENT_ENTRY:
+                entry[2]._engine = None
         self._queue.clear()
+        self._cancelled = 0
         self._now = 0.0
         self._processed = 0

@@ -1,14 +1,35 @@
-"""Events of the discrete-event engine."""
+"""Events of the discrete-event engine.
+
+:class:`Event` is the hottest allocation in the message plane — every
+protocol message becomes one — so it is a hand-rolled ``__slots__`` class
+rather than a dataclass: no per-instance ``__dict__``, no generated
+``__init__`` indirection, and ordering comparisons that touch exactly the
+``(time, sequence)`` key.  The engine additionally keeps its heap keyed by
+``(time, sequence)`` tuples so ``heapq`` compares C-level tuples instead of
+calling back into Python (see :mod:`repro.simulation.engine`); the rich
+comparisons here are kept for API compatibility and direct use in tests.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
-__all__ = ["Event"]
+__all__ = ["Event", "NO_ARG"]
 
 
-@dataclass(order=True)
+class _NoArg:
+    """Sentinel: the event's action takes no argument."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NO_ARG"
+
+
+#: Sentinel distinguishing "no argument" from "argument is None".
+NO_ARG = _NoArg()
+
+
 class Event:
     """One scheduled event.
 
@@ -22,24 +43,78 @@ class Event:
     sequence:
         Monotonic tie-breaker assigned by the engine.
     action:
-        Zero-argument callable executed when the event fires.
+        Callable executed when the event fires.  Called with ``arg`` when
+        one was supplied (the engine's ``schedule_call`` fast path — this
+        is how the network layer attaches ``(handler, message)`` pairs to
+        delivery events without allocating a closure per message) and with
+        no arguments otherwise.
+    arg:
+        Optional single argument passed to ``action``; :data:`NO_ARG` when
+        the action is a plain thunk.
     label:
         Optional human-readable label for tracing/debugging.
     cancelled:
         Cancelled events are skipped (lazily) when popped from the queue.
     """
 
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    label: Optional[str] = field(default=None, compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "action", "arg", "label", "cancelled",
+                 "_engine")
 
+    def __init__(self, time: float, sequence: int,
+                 action: Callable[..., None],
+                 label: Optional[str] = None,
+                 arg: Any = NO_ARG) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.arg = arg
+        self.label = label
+        self.cancelled = False
+        #: Owning engine while the event sits in its queue; cleared when the
+        #: event is popped (fired or discarded) so that late ``cancel()``
+        #: calls cannot skew the engine's runnable-event accounting.
+        self._engine = None
+
+    # ------------------------------------------------------------------
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when due."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancelled()
 
     def fire(self) -> None:
         """Execute the event's action (no-op when cancelled)."""
-        if not self.cancelled:
+        if self.cancelled:
+            return
+        if self.arg is NO_ARG:
             self.action()
+        else:
+            self.action(self.arg)
+
+    # ------------------------------------------------------------------
+    # ordering by (time, sequence) — matches the engine's heap key
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __le__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) <= (other.time, other.sequence)
+
+    def __gt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) > (other.time, other.sequence)
+
+    def __ge__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) >= (other.time, other.sequence)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.sequence) == (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+                f"label={self.label!r}{flag})")

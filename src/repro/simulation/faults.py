@@ -26,11 +26,18 @@ Four pieces compose the subsystem:
   every protocol-level hand-over of Section 3.3 is skipped, stranding the
   survivors' local views.
 * :class:`HeartbeatDetector` — periodic ``PING``/``PONG`` probing of each
-  node's full reference set (Voronoi neighbours, close neighbours,
-  long-link endpoints and back-link sources).  A peer missing
-  ``miss_threshold`` consecutive rounds lands on the prober's local
-  suspect list; a live suspect that later answers a probe is
-  exonerated by the ``PONG`` handler, so lost heartbeats self-correct.
+  node's reference set (Voronoi neighbours, close neighbours, long-link
+  endpoints and back-link sources).  A peer missing ``miss_threshold``
+  consecutive rounds lands on the prober's local suspect list; a live
+  suspect that later answers a probe is exonerated by the ``PONG``
+  handler, so lost heartbeats self-correct.  :class:`HeartbeatConfig`
+  optionally piggy-backs freshness on ordinary protocol traffic (any
+  delivered message exonerates its sender, recently heard peers are not
+  probed, crossed probes suppress the redundant ``PONG``) and probes
+  long-link/back-link edges on a deterministic sampling stride instead of
+  every round — an order-of-magnitude cheaper steady state for a bounded
+  increase in detection latency; the full-probe default stays
+  byte-identical to the original detector for parity tests.
 * :class:`RepairProtocol` — the crash-mode extension of the Section 3.3
   departure protocol.  Where a graceful leaver *pushes* its state out, the
   repair protocol lets the survivors *pull* the overlay back together in
@@ -55,7 +62,8 @@ benchmark are thin wrappers around it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import VoroNetConfig
@@ -72,6 +80,7 @@ __all__ = [
     "FaultPlane",
     "PartitionSpec",
     "ProtocolCrashInjector",
+    "HeartbeatConfig",
     "HeartbeatDetector",
     "RepairProtocol",
     "RepairReport",
@@ -330,14 +339,76 @@ class ProtocolCrashInjector:
 # ----------------------------------------------------------------------
 # heartbeat failure detection
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Parameters of the liveness subsystem.
+
+    The defaults reproduce the original full-probe detector exactly (the
+    parity suite pins this); the two switches below implement the
+    steady-state cost rework:
+
+    Attributes
+    ----------
+    interval:
+        Spacing of clock-driven rounds, and the detector's notion of "one
+        round" for bookkeeping.
+    miss_threshold:
+        Consecutive unanswered rounds before a peer is suspected.
+    piggyback:
+        Piggy-back freshness on ordinary protocol traffic: every delivered
+        message counts as proof of life for its sender (and exonerates a
+        suspected one), peers heard from within the last ``miss_threshold``
+        rounds are not probed at all — evidence that recent cannot support
+        a suspicion anyway — and a ``PONG`` is suppressed when the
+        recipient's own ``PING`` of the same round is already in flight to
+        the sender (crossed probes prove liveness both ways).  On an idle
+        overlay probing therefore alternates instead of firing every
+        round; on a busy one, edges carrying traffic are never probed.
+        Worst-case detection latency grows by the freshness window:
+        ``2 · miss_threshold`` rounds instead of ``miss_threshold``.
+    sample_fraction:
+        Fraction of *long-link/back-link* edges probed per round (Voronoi
+        and close neighbours — the structural core — are always probed).
+        Sampled edges are probed on a deterministic per-edge stride of
+        period ``round(1 / sample_fraction)``, so every edge is covered
+        once per period and worst-case detection latency for a dangling
+        long link grows by one period.  A peer with a missed heartbeat or
+        on the suspect list is always probed, so suspicion in progress
+        resolves at full speed.
+    """
+
+    interval: float = 8.0
+    miss_threshold: int = 2
+    piggyback: bool = False
+    sample_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.miss_threshold < 1:
+            raise ValueError(
+                f"miss_threshold must be >= 1, got {self.miss_threshold}")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {self.sample_fraction}")
+
+    @property
+    def sample_period(self) -> int:
+        """Stride (in rounds) between probes of one sampled edge."""
+        return max(1, int(round(1.0 / self.sample_fraction)))
+
+
 class HeartbeatDetector:
     """Periodic ``PING``/``PONG`` probing with per-node suspect lists.
 
-    Every live node probes its full reference set
-    (:meth:`ProtocolNode.monitored_peers
+    In the default full-probe configuration every live node probes its
+    full reference set (:meth:`ProtocolNode.monitored_peers
     <repro.simulation.protocol.ProtocolNode.monitored_peers>`) each round;
     a peer that misses ``miss_threshold`` consecutive rounds is added to
-    the prober's local suspect list.  Two driving modes:
+    the prober's local suspect list.  A :class:`HeartbeatConfig` with
+    ``piggyback`` and/or ``sample_fraction`` set trades bounded extra
+    detection latency for an order-of-magnitude cheaper steady state (see
+    the config docstring).  Two driving modes:
 
     * :meth:`run_round` — synchronous: send the probes, drain the engine,
       sweep the answers.  The repair protocol and the churn harness drive
@@ -348,39 +419,130 @@ class HeartbeatDetector:
       partition windows; :meth:`stop` cancels the remaining ticks.
     """
 
+    #: Multiplier on ``object_id``/``peer`` in the deterministic stride
+    #: phase of sampled edges (two odd constants decorrelate the two ids).
+    _PHASE_A = 2654435761
+    _PHASE_B = 40503
+
     def __init__(self, simulator: ProtocolSimulator, *,
-                 interval: float = 8.0, miss_threshold: int = 2) -> None:
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        if miss_threshold < 1:
-            raise ValueError(f"miss_threshold must be >= 1, got {miss_threshold}")
+                 interval: Optional[float] = None,
+                 miss_threshold: Optional[int] = None,
+                 config: Optional[HeartbeatConfig] = None) -> None:
+        if config is None:
+            config = HeartbeatConfig(
+                interval=interval if interval is not None else 8.0,
+                miss_threshold=(miss_threshold if miss_threshold is not None
+                                else 2))
+        elif interval is not None or miss_threshold is not None:
+            raise ValueError(
+                "pass either a HeartbeatConfig or keyword shortcuts, not both")
         self.simulator = simulator
-        self.interval = interval
-        self.miss_threshold = miss_threshold
+        self.config = config
+        self.interval = config.interval
+        self.miss_threshold = config.miss_threshold
         self.rounds_run = 0
         self._round = 0
         self._outstanding: Dict[int, Set[int]] = {}
         self._scheduled: List = []
+        #: Virtual start times of the last two rounds ([-1] is the current
+        #: round's; the sweep treats contact during the round as an answer).
+        self._round_starts: List[float] = []
+        #: Piggyback bookkeeping: round at which each (prober, peer) edge
+        #: was last observed fresh.  Freshness is aged in *rounds*, not
+        #: virtual time — synchronous rounds on an idle overlay do not
+        #: advance the clock, so a time-based window would freeze and a
+        #: crash on a quiet overlay would never be probed again.
+        self._fresh_round: Dict[Tuple[int, int], int] = {}
+        self._era: Optional[int] = None
+        if config.piggyback:
+            # Stays on for the simulator's lifetime (the measurement
+            # harness restores it explicitly); the era keeps this
+            # detector's probe bookkeeping from ever being confused with
+            # an earlier detector's.
+            simulator.piggyback_liveness = True
+            simulator.liveness_eras += 1
+            self._era = simulator.liveness_eras
 
     # ------------------------------------------------------------------
+    def _edge_due(self, object_id: int, peer: int, period: int) -> bool:
+        """Whether the sampled edge ``object_id → peer`` probes this round."""
+        phase = (object_id * self._PHASE_A + peer * self._PHASE_B) % period
+        return (self._round + phase) % period == 0
+
     def _send_pings(self) -> int:
         simulator = self.simulator
+        config = self.config
         self._round += 1
+        self._round_starts.append(simulator.engine.now)
+        del self._round_starts[:-2]
         self._outstanding = {}
         pings = 0
+        if not config.piggyback and config.sample_fraction >= 1.0:
+            # Full-probe mode: byte-identical to the original detector.
+            for object_id, node in list(simulator.nodes.items()):
+                peers = node.monitored_peers()
+                if not peers:
+                    continue
+                self._outstanding[object_id] = peers
+                for peer in sorted(peers):
+                    simulator.send(node, peer, "PING", {"round": self._round})
+                    pings += 1
+            return pings
+        piggyback = config.piggyback
+        period = config.sample_period
+        threshold = config.miss_threshold
+        current_round = self._round
+        # Contact strictly after the previous round began re-marks an edge
+        # fresh (strict: with a frozen clock the previous round's start
+        # equals the old contact timestamp, which must *not* count again).
+        previous_start = (self._round_starts[-2]
+                          if len(self._round_starts) >= 2 else None)
+        fresh_rounds = self._fresh_round
         for object_id, node in list(simulator.nodes.items()):
             peers = node.monitored_peers()
             if not peers:
                 continue
-            self._outstanding[object_id] = peers
+            if period > 1:
+                core = set(node.voronoi)
+                core.update(node.close)
+            missed = node.missed_heartbeats
+            suspects = node.suspects
+            last_contact = node.last_contact
+            probed: Set[int] = set()
             for peer in sorted(peers):
-                simulator.send(node, peer, "PING", {"round": self._round})
+                if peer not in suspects and not missed.get(peer, 0):
+                    if piggyback:
+                        contact = last_contact.get(peer)
+                        if (contact is not None and previous_start is not None
+                                and contact > previous_start):
+                            # Heard since last round began: fresh now, and
+                            # for the next miss_threshold rounds.
+                            fresh_rounds[(object_id, peer)] = current_round
+                            continue
+                        fresh = fresh_rounds.get((object_id, peer))
+                        if (fresh is not None
+                                and current_round - fresh < threshold):
+                            continue  # within the freshness window
+                    if (period > 1 and peer not in core
+                            and not self._edge_due(object_id, peer, period)):
+                        continue  # sampled long/back edge, off-stride round
+                probed.add(peer)
+                if piggyback:
+                    node.last_ping_round[peer] = (self._era, current_round)
+                    simulator.send(node, peer, "PING",
+                                   {"round": current_round, "era": self._era})
+                else:
+                    simulator.send(node, peer, "PING", {"round": current_round})
                 pings += 1
+            if probed:
+                self._outstanding[object_id] = probed
         return pings
 
     def _sweep(self) -> List[Tuple[int, int]]:
         """Settle the previous round; returns newly created (prober, suspect)."""
         simulator = self.simulator
+        piggyback = self.config.piggyback
+        round_started = self._round_starts[-1] if self._round_starts else -math.inf
         new_suspects: List[Tuple[int, int]] = []
         for object_id, peers in self._outstanding.items():
             node = simulator.nodes.get(object_id)
@@ -389,6 +551,9 @@ class HeartbeatDetector:
             for peer in sorted(peers):
                 if node.last_heard.get(peer) == self._round:
                     continue
+                if (piggyback
+                        and node.last_contact.get(peer, -math.inf) >= round_started):
+                    continue  # any message during the round is an answer
                 misses = node.missed_heartbeats.get(peer, 0) + 1
                 node.missed_heartbeats[peer] = misses
                 if misses >= self.miss_threshold and peer not in node.suspects:
@@ -408,7 +573,7 @@ class HeartbeatDetector:
         Returns the (prober, suspect) pairs created by this round.
         """
         self._send_pings()
-        self.simulator.engine.run()
+        self.simulator.engine.run_until_quiescent()
         return self._sweep()
 
     def run_rounds(self, count: int) -> List[Tuple[int, int]]:
@@ -553,7 +718,7 @@ class RepairProtocol:
                 for suspect in sorted(node.suspects):
                     for _ in range(self.PROBES_PER_SUSPECT):
                         simulator.send(node, suspect, "PING", {"round": 0})
-            simulator.engine.run()
+            simulator.engine.run_until_quiescent()
             phase_messages["probe"] = network.messages_sent - before
             holders = self._holders()
 
@@ -573,7 +738,7 @@ class RepairProtocol:
                 payload = {"suspects": sorted(node.suspects)}
                 for recipient in recipients:
                     simulator.send(node, recipient, "SUSPECT_NOTIFY", payload)
-            simulator.engine.run()
+            simulator.engine.run_until_quiescent()
             phase_messages["notify"] = network.messages_sent - before
 
             # ---- scrub: refresh Voronoi views referencing a suspect -----
@@ -602,7 +767,7 @@ class RepairProtocol:
                                "VIEW_SCRUB",
                                {"voronoi": view, "version": version,
                                 "crashed": suspected})
-            simulator.engine.run()
+            simulator.engine.run_until_quiescent()
             phase_messages["scrub"] = network.messages_sent - before
 
             # ---- retarget: dangling long links re-run the routed search -
@@ -624,7 +789,7 @@ class RepairProtocol:
                         node.reissue_long_link(index, seed=seed)
                         self._reissue_attempts[key] = attempts + 1
                         reissued += 1
-            simulator.engine.run()
+            simulator.engine.run_until_quiescent()
             phase_messages["retarget"] = network.messages_sent - before
             self._reissued += reissued
 
@@ -650,7 +815,7 @@ class RepairProtocol:
                                {"position": node.position})
             if found:
                 node.touch_view()
-        simulator.engine.run()
+        simulator.engine.run_until_quiescent()
         phase_messages["close"] = network.messages_sent - before
 
         # ---- GC: drop suspicion no surviving reference supports ---------
@@ -711,7 +876,7 @@ class RepairProtocol:
                     seed = simulator.locate.hint(node.long_links[index].target)
                     node.reissue_long_link(index, seed=seed)
                     self._reissued += 1
-                simulator.engine.run()
+                simulator.engine.run_until_quiescent()
                 totals["audit"] = (totals.get("audit", 0)
                                    + simulator.network.messages_sent - before)
                 rounds += 1
@@ -735,7 +900,14 @@ class RepairProtocol:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ProtocolChurnReport:
-    """One full churn/crash/repair experiment, with per-phase accounting."""
+    """One full churn/crash/repair experiment, with per-phase accounting.
+
+    ``steady_state_liveness`` (present when the harness was asked to
+    measure it) compares the liveness message cost of heartbeat rounds
+    over the healthy overlay under the full-probe baseline and under
+    piggy-backed/sampled probing — the steady-state overhead the ROADMAP
+    flags, measured on the same population and query traffic.
+    """
 
     objects_built: int
     churn_joins: int
@@ -749,6 +921,7 @@ class ProtocolChurnReport:
     verify_problems: int
     converged: bool
     virtual_time: float
+    steady_state_liveness: Optional[Dict[str, float]] = None
 
 
 class ProtocolChurnHarness:
@@ -781,8 +954,13 @@ class ProtocolChurnHarness:
                  loss_probability: float = 0.0,
                  heartbeat_interval: float = 8.0,
                  miss_threshold: int = 2,
+                 heartbeat: Optional[HeartbeatConfig] = None,
                  max_detection_rounds: int = 8,
                  max_repair_rounds: int = 8,
+                 measure_liveness: bool = False,
+                 liveness_rounds: int = 4,
+                 liveness_queries: int = 25,
+                 liveness_sample_fraction: float = 0.25,
                  distribution: Optional[ObjectDistribution] = None,
                  trace: Optional["TraceRecorder"] = None) -> None:
         if not 0.0 <= crash_fraction < 1.0:
@@ -796,6 +974,10 @@ class ProtocolChurnHarness:
         self.loss_probability = loss_probability
         self.max_detection_rounds = max_detection_rounds
         self.max_repair_rounds = max_repair_rounds
+        self.measure_liveness = measure_liveness
+        self.liveness_rounds = liveness_rounds
+        self.liveness_queries = liveness_queries
+        self.liveness_sample_fraction = liveness_sample_fraction
         self.distribution = distribution or UniformDistribution()
         capacity = 4 * (num_objects + churn_events + 8)
         self.config = VoroNetConfig(n_max=capacity,
@@ -804,9 +986,11 @@ class ProtocolChurnHarness:
         self.simulator = ProtocolSimulator(self.config, seed=seed,
                                            faults=self.faults, trace=trace)
         self.rng = RandomSource(seed + 2)
-        self.detector = HeartbeatDetector(self.simulator,
-                                          interval=heartbeat_interval,
-                                          miss_threshold=miss_threshold)
+        if heartbeat is None:
+            heartbeat = HeartbeatConfig(interval=heartbeat_interval,
+                                        miss_threshold=miss_threshold)
+        self.heartbeat_config = heartbeat
+        self.detector = HeartbeatDetector(self.simulator, config=heartbeat)
         self.repairer = RepairProtocol(self.simulator, detector=self.detector,
                                        max_rounds=max_repair_rounds)
         self.injector = ProtocolCrashInjector(self.simulator, rng=self.rng)
@@ -888,6 +1072,75 @@ class ProtocolChurnHarness:
         scheduler.stop()
         return self._churn_joins, self._churn_leaves
 
+    def _reset_liveness_bookkeeping(self) -> None:
+        """Clear per-node heartbeat state between liveness measurements."""
+        for node in self.simulator.nodes.values():
+            node.last_heard.clear()
+            node.missed_heartbeats.clear()
+            node.last_contact.clear()
+            node.last_ping_round.clear()
+
+    def measure_steady_state_liveness(self) -> Dict[str, float]:
+        """Liveness message cost over the healthy overlay, both ways.
+
+        Runs ``liveness_rounds`` synchronous heartbeat rounds twice over
+        the current (healthy, loss-free) population — once with the
+        full-probe baseline and once with piggy-backed freshness plus
+        long-link sampling — interleaving ``liveness_queries`` routed
+        point queries per round as the "ordinary protocol traffic" the
+        piggyback mode feeds on (both phases issue the same queries from
+        the same seeded stream, so the comparison is apples to apples).
+        Each phase is preceded by one uncounted warm-up round: steady
+        state is what's being measured, not the cold start.  Returns the
+        PING/PONG counts of both phases and their ratio.
+        """
+        simulator = self.simulator
+        rounds = self.liveness_rounds
+        per_round = self.liveness_queries
+        query_rng = RandomSource(self.seed + 9)
+        # One target batch per (warm-up + measured) round, shared by both
+        # phases so routed traffic is identical.
+        target_batches = [[query_rng.random_point() for _ in range(per_round)]
+                          for _ in range(rounds + 1)]
+
+        def liveness_messages() -> int:
+            kinds = simulator.network.sent_by_kind
+            return kinds.get("PING", 0) + kinds.get("PONG", 0)
+
+        def run_phase(config: HeartbeatConfig) -> int:
+            detector = HeartbeatDetector(simulator, config=config)
+            for target in target_batches[0]:  # warm-up round (uncounted)
+                simulator.query(target)
+            detector.run_round()
+            before = liveness_messages()
+            for batch in target_batches[1:]:
+                for target in batch:
+                    simulator.query(target)
+                detector.run_round()
+            return liveness_messages() - before
+
+        base = HeartbeatConfig(interval=self.heartbeat_config.interval,
+                               miss_threshold=self.heartbeat_config.miss_threshold)
+        full_probe = run_phase(base)
+        self._reset_liveness_bookkeeping()
+        piggyback = run_phase(replace(
+            base, piggyback=True,
+            sample_fraction=self.liveness_sample_fraction))
+        self._reset_liveness_bookkeeping()
+        # The measurement must not change how the experiment's own
+        # detection phase behaves: restore the configured switch.
+        simulator.piggyback_liveness = self.heartbeat_config.piggyback
+        return {
+            "rounds": float(rounds),
+            "queries_per_round": float(per_round),
+            "sample_fraction": self.liveness_sample_fraction,
+            "full_probe_messages": float(full_probe),
+            "piggyback_messages": float(piggyback),
+            # max(1, ·): a zero-message piggyback phase (degenerate tiny
+            # overlay) must not put a non-JSON Infinity in bench records.
+            "reduction": full_probe / max(piggyback, 1),
+        }
+
     def _all_damage_suspected(self) -> bool:
         """Does every surviving stale reference sit on a suspect list?"""
         dead = set(self.injector.crashed)
@@ -915,6 +1168,13 @@ class ProtocolChurnHarness:
         before = network.messages_sent
         churn_joins, churn_leaves = self._run_churn()
         phase_messages["churn"] = network.messages_sent - before
+
+        # ---- steady-state liveness cost (optional, pre-crash) ----------
+        steady_state = None
+        if self.measure_liveness:
+            before = network.messages_sent
+            steady_state = self.measure_steady_state_liveness()
+            phase_messages["steady_state"] = network.messages_sent - before
 
         # ---- crash ------------------------------------------------------
         victims = self.injector.crash_random(
@@ -959,4 +1219,5 @@ class ProtocolChurnHarness:
             verify_problems=len(problems),
             converged=converged,
             virtual_time=simulator.engine.now,
+            steady_state_liveness=steady_state,
         )

@@ -62,7 +62,8 @@ the same neighbour structure on identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Callable, ClassVar, Dict, List, Optional,
+                    Sequence, Set, Tuple)
 
 import numpy as np
 
@@ -185,6 +186,17 @@ class ProtocolNode:
     last_heard: Dict[int, int] = field(default_factory=dict)
     missed_heartbeats: Dict[int, int] = field(default_factory=dict)
     suspects: Set[int] = field(default_factory=set)
+    #: Piggy-backed liveness (``HeartbeatConfig.piggyback``): virtual time
+    #: this node last received *any* message from a peer, and the
+    #: ``(detector era, round)`` in which this node last pinged a peer
+    #: (the era scopes entries to one detector, so bookkeeping left by a
+    #: retired detector can never suppress answers to a new one).
+    #: Maintained only while the simulator's ``piggyback_liveness`` switch
+    #: is on; like the detector bookkeeping above, not part of the
+    #: routing view.
+    last_contact: Dict[int, float] = field(default_factory=dict)
+    last_ping_round: Dict[int, Tuple[Optional[int], int]] = field(
+        default_factory=dict)
     #: Peers exonerated after being suspected (their PONG refuted the
     #: suspicion).  Suspicion scrubbed their close entry destructively, so
     #: the repair protocol's close re-discovery must revisit this node
@@ -322,12 +334,39 @@ class ProtocolNode:
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
+    #: Message kind → unbound handler, resolved once per kind instead of
+    #: rebuilding the ``_on_<kind>`` attribute name on every delivery.
+    #: Per-class (see ``__init_subclass__``): a subclass overriding a
+    #: handler gets its own cache, so the override is actually dispatched.
+    _DISPATCH: ClassVar[Dict[str, Callable]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._DISPATCH = {}
+
     def handle(self, message: Message) -> None:
         """Dispatch an incoming message to its protocol handler."""
-        handler = getattr(self, f"_on_{message.kind.lower()}", None)
+        simulator = self.simulator
+        if simulator.piggyback_liveness:
+            # Any delivered message is proof of life: record the contact
+            # and exonerate a suspected sender (the generalisation of the
+            # PONG handler's exoneration to all protocol traffic).
+            sender = message.sender
+            if sender != self.object_id:
+                self.last_contact[sender] = simulator.engine.now
+                if self.missed_heartbeats:
+                    self.missed_heartbeats.pop(sender, None)
+                if sender in self.suspects:
+                    self.suspects.discard(sender)
+                    self.rehabilitated.add(sender)
+        cls = type(self)
+        handler = cls._DISPATCH.get(message.kind)
         if handler is None:
-            raise ValueError(f"unknown message kind {message.kind!r}")
-        handler(message)
+            handler = getattr(cls, f"_on_{message.kind.lower()}", None)
+            if handler is None:
+                raise ValueError(f"unknown message kind {message.kind!r}")
+            cls._DISPATCH[message.kind] = handler
+        handler(self, message)
 
     # ---------------- join phase 1: routing the ADD_OBJECT -------------
     def _on_add_object(self, message: Message) -> None:
@@ -501,8 +540,21 @@ class ProtocolNode:
     # gossip, and view scrubbing.  Every view-mutating one bumps the view
     # epoch, per the routing-cache contract.
     def _on_ping(self, message: Message) -> None:
+        payload = message.payload
+        round_number = payload["round"]
+        if (self.simulator.piggyback_liveness
+                and self.last_ping_round.get(message.sender)
+                == (payload.get("era"), round_number)):
+            # Crossed probes: our own PING of the same round *of the same
+            # detector* (the era disambiguates detectors, so a stale
+            # entry from an earlier detector can never suppress answers
+            # to a new one) is already in flight to the sender, and with
+            # piggy-backed liveness its delivery is proof of life — the
+            # PONG would be redundant.  (Full-probe and repair-phase
+            # probes carry no era, which never matches.)
+            return
         self.simulator.send(self, message.sender, "PONG",
-                            {"round": message.payload["round"]})
+                            {"round": round_number})
 
     def _on_pong(self, message: Message) -> None:
         peer = message.sender
@@ -664,6 +716,18 @@ class ProtocolSimulator:
         self.metrics = MetricsRegistry()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.rng = RandomSource(seed if seed is not None else self.config.seed)
+        # Stochastic latency models adopt a child of the simulator's seeded
+        # stream (unless the caller supplied their own rng), so latency
+        # draws are reproducible end-to-end from the simulator seed.
+        self.network.latency.bind_rng(self.rng.fork())
+        #: Piggy-backed liveness switch (set by a HeartbeatDetector whose
+        #: config enables it): every delivered message then records a
+        #: last-contact timestamp and exonerates a suspected sender.
+        self.piggyback_liveness = False
+        #: Serial of piggyback-mode detectors attached so far; each gets a
+        #: distinct era stamped into its probes, so bookkeeping left by a
+        #: retired detector can never be mistaken for the current one's.
+        self.liveness_eras = 0
         self.kernel = DelaunayTriangulation()
         self.locate = LocateGrid()
         self.nodes: Dict[int, ProtocolNode] = {}
@@ -683,8 +747,10 @@ class ProtocolSimulator:
     def send(self, sender: ProtocolNode, recipient: int, kind: str,
              payload: Dict) -> None:
         """Send one protocol message from ``sender`` to ``recipient``."""
-        self.trace.record(self.engine.now, "send", message_kind=kind,
-                          sender=sender.object_id, recipient=recipient)
+        trace = self.trace
+        if trace.enabled:
+            trace.record(self.engine.now, "send", message_kind=kind,
+                         sender=sender.object_id, recipient=recipient)
         self.network.send(Message(sender=sender.object_id, recipient=recipient,
                                   kind=kind, payload=payload))
 
@@ -851,7 +917,7 @@ class ProtocolSimulator:
                 self.send(starter, introducer, "ADD_OBJECT",
                           {"new_id": object_id, "position": position,
                            "hops": 0, "bulk": True})
-            self.engine.run()
+            self.engine.run_until_quiescent()
         phase_messages["carve"] = self.network.messages_sent - snapshot
 
         # ---- phase 2: consolidated view distribution --------------------
@@ -878,7 +944,7 @@ class ProtocolSimulator:
                     for nid in self.kernel.neighbors(neighbor_id)}
             self.send(self.nodes[sender_id], neighbor_id, "REGION_UPDATE",
                       {"voronoi": view, "version": version})
-        self.engine.run()
+        self.engine.run_until_quiescent()
         phase_messages["views"] = self.network.messages_sent - snapshot
 
         # ---- phase 3: back-registration hand-over ----------------------
@@ -907,7 +973,7 @@ class ProtocolSimulator:
                     self.send(holder, source, "LONG_LINK_RETARGET",
                               {"link_index": link_index, "neighbor": owner,
                                "neighbor_position": self.nodes[owner].position})
-            self.engine.run()
+            self.engine.run_until_quiescent()
             phase_messages["handover"] = self.network.messages_sent - snapshot
 
         # ---- phase 4: close neighbours ---------------------------------
@@ -926,7 +992,7 @@ class ProtocolSimulator:
                               {"position": node.position})
                 if found:
                     node.touch_view()
-            self.engine.run()
+            self.engine.run_until_quiescent()
             phase_messages["close"] = self.network.messages_sent - snapshot
 
         # ---- phase 5: long links ---------------------------------------
@@ -951,7 +1017,7 @@ class ProtocolSimulator:
                               {"target": target, "requester": object_id,
                                "link_index": index, "hops": 0})
                 node.touch_view()
-            self.engine.run()
+            self.engine.run_until_quiescent()
             phase_messages["long_links"] = self.network.messages_sent - snapshot
 
         self.metrics.increment("joins", len(ids))

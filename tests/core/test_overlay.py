@@ -236,7 +236,27 @@ class TestExportsAndStats:
 
     def test_stats_describe_lines(self, small_overlay):
         lines = small_overlay.stats.describe()
-        assert len(lines) == 5
+        assert len(lines) == 6
+
+    def test_routing_table_rebuilds_counted_per_epoch_bump(self):
+        """The rebuild counter measures exactly the work a topology-epoch
+        bump causes — the baseline for the per-shard-epoch follow-up."""
+        overlay = VoroNet(n_max=128, seed=3)
+        rng = np.random.default_rng(3)
+        ids = [overlay.insert(tuple(rng.random(2))) for _ in range(20)]
+        overlay.stats.routing_table_rebuilds = 0
+        for object_id in ids:
+            overlay.routing_table(object_id)
+        assert overlay.stats.routing_table_rebuilds == len(ids)
+        # Cache hits: same epoch, no further rebuilds.
+        for object_id in ids:
+            overlay.routing_table(object_id)
+        assert overlay.stats.routing_table_rebuilds == len(ids)
+        # One epoch bump invalidates every table; each re-read rebuilds.
+        overlay.invalidate_routing_tables()
+        for object_id in ids:
+            overlay.routing_table(object_id)
+        assert overlay.stats.routing_table_rebuilds == 2 * len(ids)
 
     def test_random_object_id_is_member(self, small_overlay):
         assert small_overlay.random_object_id() in small_overlay

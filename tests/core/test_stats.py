@@ -33,17 +33,21 @@ class TestOverlayStats:
     def test_groups_present(self):
         stats = OverlayStats()
         assert set(stats.as_dict()) == {
-            "joins", "leaves", "routes", "queries", "long_link_searches"}
+            "joins", "leaves", "routes", "queries", "long_link_searches",
+            "routing_table_rebuilds"}
 
     def test_reset(self):
         stats = OverlayStats()
         stats.joins.record(3, 5)
+        stats.routing_table_rebuilds = 7
         stats.reset()
         assert stats.joins.count == 0
+        assert stats.routing_table_rebuilds == 0
 
     def test_describe_is_human_readable(self):
         stats = OverlayStats()
         stats.routes.record(7, 7)
         lines = stats.describe()
-        assert len(lines) == 5
+        assert len(lines) == 6
         assert any("routes" in line for line in lines)
+        assert any("routing_table_rebuilds" in line for line in lines)

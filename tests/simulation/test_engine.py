@@ -1,9 +1,11 @@
 """Unit tests for the discrete-event engine."""
 
+import time as _time
+
 import pytest
 
 from repro.simulation.engine import SimulationEngine
-from repro.simulation.events import Event
+from repro.simulation.events import NO_ARG, Event
 
 
 class TestScheduling:
@@ -102,6 +104,123 @@ class TestExecution:
         assert engine.processed_events == 0
 
 
+class TestFastPaths:
+    def test_schedule_call_passes_argument(self):
+        engine = SimulationEngine()
+        received = []
+        engine.schedule_call(1.0, received.append, "payload")
+        engine.run()
+        assert received == ["payload"]
+
+    def test_schedule_call_event_is_cancellable(self):
+        engine = SimulationEngine()
+        received = []
+        event = engine.schedule_call(1.0, received.append, "payload")
+        event.cancel()
+        engine.run()
+        assert received == []
+
+    def test_schedule_call_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_call(-0.5, print, None)
+
+    def test_push_call_fires_in_order_with_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("event"))
+        engine.push_call(1.0, fired.append, "raw-early")
+        engine.push_call(2.0, fired.append, "raw-tie-later")
+        engine.run()
+        # Ties break by scheduling order: the event entry was pushed first.
+        assert fired == ["raw-early", "event", "raw-tie-later"]
+
+    def test_cancel_actions_removes_matching_entries(self):
+        engine = SimulationEngine()
+        fired = []
+        other = []
+        append = fired.append  # one identity, like a registered handler
+        engine.push_call(1.0, append, "a")
+        engine.push_call(2.0, append, "b")
+        engine.schedule_call(3.0, append, "c")
+        engine.push_call(1.5, other.append, "other-action")
+        removed = engine.cancel_actions(append)
+        assert sorted(removed) == ["a", "b", "c"]
+        engine.run()
+        assert fired == []
+        assert other == ["other-action"]
+        assert engine.quiescent
+
+    def test_run_until_quiescent_drains(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: engine.push_call(1.0, fired.append, "x"))
+        executed = engine.run_until_quiescent()
+        assert executed == 2
+        assert fired == ["x"]
+        assert engine.quiescent
+
+
+class TestQuiescenceAccounting:
+    def test_runnable_events_tracks_cancellation(self):
+        engine = SimulationEngine()
+        events = [engine.schedule(float(i + 1), lambda: None) for i in range(4)]
+        assert engine.runnable_events == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert engine.runnable_events == 2
+        assert not engine.quiescent
+        for event in events:
+            event.cancel()
+        assert engine.runnable_events == 0
+        assert engine.quiescent
+
+    def test_cancel_after_firing_does_not_corrupt_accounting(self):
+        engine = SimulationEngine()
+        event = engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.quiescent
+        event.cancel()  # heartbeat stop() cancels already-fired ticks
+        assert engine.runnable_events == 0
+        assert engine.quiescent
+        engine.schedule(1.0, lambda: None)
+        assert engine.runnable_events == 1
+
+    def test_mass_cancellation_compacts_queue(self):
+        engine = SimulationEngine()
+        keeper_fired = []
+        events = [engine.schedule(float(i + 1), lambda: None)
+                  for i in range(200)]
+        keeper = engine.schedule(500.0, lambda: keeper_fired.append(1))
+        for event in events:
+            event.cancel()
+        # Cancelled entries repeatedly outnumbered live ones: the queue was
+        # compacted down (compaction stops below its minimum queue size,
+        # so a few lazily-popped stragglers may remain).
+        assert engine.pending_events < 64
+        assert engine.runnable_events == 1
+        engine.run()
+        assert keeper_fired == [1]
+        assert not keeper.cancelled
+
+    def test_quiescent_is_constant_time_on_large_queues(self):
+        """Regression: quiescent must answer from the incremental counter.
+
+        10⁵ pending events, 10⁴ polls: an O(n) scan would need ~10⁹ steps
+        (minutes); the counter comparison finishes in well under a second
+        even on a slow machine.
+        """
+        engine = SimulationEngine()
+        for index in range(100_000):
+            engine.schedule(float(index % 97) + 1.0, lambda: None)
+        started = _time.perf_counter()
+        for _ in range(10_000):
+            engine.quiescent
+        elapsed = _time.perf_counter() - started
+        assert elapsed < 1.0
+        assert not engine.quiescent
+        assert engine.pending_events == 100_000
+
+
 class TestEvent:
     def test_ordering_by_time_then_sequence(self):
         early = Event(time=1.0, sequence=5, action=lambda: None)
@@ -117,3 +236,16 @@ class TestEvent:
         event.cancel()
         event.fire()
         assert fired == [1]
+
+    def test_fire_passes_argument_when_present(self):
+        fired = []
+        event = Event(time=0.0, sequence=0, action=fired.append, arg="x")
+        event.fire()
+        assert fired == ["x"]
+        assert Event(time=0.0, sequence=1, action=fired.append).arg is NO_ARG
+
+    def test_events_are_slotted(self):
+        event = Event(time=0.0, sequence=0, action=lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.arbitrary_attribute = 1

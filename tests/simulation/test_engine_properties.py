@@ -1,0 +1,175 @@
+"""Property tests of the discrete-event engine's ordering and accounting.
+
+The engine rewrite (tuple-keyed heap, raw delivery entries, incremental
+runnable counter, lazy compaction) must be observationally identical to
+the specification: events fire in ``(time, sequence)`` order, cancellation
+removes exactly the cancelled events, ``quiescent``/``runnable_events``
+agree with a brute-force scan of the queue at every step, and compaction
+never drops a runnable event.  A small interpreter drives random command
+sequences against both the engine and a list-based oracle.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import SimulationEngine, _EVENT_ENTRY
+
+
+def _scan_runnable(engine):
+    """Brute-force count of runnable entries in the engine's queue."""
+    count = 0
+    for entry in engine._queue:
+        if entry[3] is _EVENT_ENTRY and entry[2].cancelled:
+            continue
+        count += 1
+    return count
+
+
+class _Oracle:
+    """Specification model: a sorted list of (time, seq, id, cancelled)."""
+
+    def __init__(self):
+        self.pending = []
+        self.now = 0.0
+        self.sequence = 0
+        self.fired = []
+
+    def schedule(self, delay):
+        entry = [self.now + delay, self.sequence, self.sequence, False]
+        self.sequence += 1
+        heapq.heappush(self.pending, entry)
+        return entry
+
+    def _fire_next(self):
+        entry = heapq.heappop(self.pending)
+        if entry[3]:
+            return
+        self.now = entry[0]
+        self.fired.append(entry[2])
+
+    def run(self):
+        while self.pending:
+            self._fire_next()
+
+    def run_until(self, time):
+        while self.pending and self.pending[0][0] <= time:
+            self._fire_next()
+        self.now = max(self.now, time)
+
+    def runnable(self):
+        return sum(1 for entry in self.pending if not entry[3])
+
+
+_COMMANDS = st.lists(
+    st.one_of(
+        st.tuples(st.just("schedule"), st.floats(0.0, 10.0, allow_nan=False)),
+        st.tuples(st.just("push_call"), st.floats(0.0, 10.0, allow_nan=False)),
+        st.tuples(st.just("cancel"), st.integers(0, 200)),
+        st.tuples(st.just("run_until"), st.floats(0.0, 12.0, allow_nan=False)),
+        st.tuples(st.just("run"), st.just(0.0)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+class TestEngineAgainstOracle:
+    @settings(max_examples=120, deadline=None)
+    @given(commands=_COMMANDS)
+    def test_interleaved_schedule_cancel_run(self, commands):
+        """(time, sequence) ordering, accounting and quiescence all match
+        the oracle under arbitrary interleavings."""
+        engine = SimulationEngine()
+        oracle = _Oracle()
+        fired = []
+        events = []  # (engine event, oracle entry) pairs, in creation order
+
+        def make_action(event_id):
+            return lambda: fired.append(event_id)
+
+        for command, value in commands:
+            if command == "schedule":
+                oracle_entry = oracle.schedule(value)
+                event = engine.schedule(value, make_action(oracle_entry[2]))
+                events.append((event, oracle_entry))
+            elif command == "push_call":
+                # Raw entries share the ordering key space with events but
+                # cannot be cancelled; fire through the same recorder.
+                oracle_entry = oracle.schedule(value)
+                engine.push_call(value, fired.append, oracle_entry[2])
+                events.append((None, oracle_entry))
+            elif command == "cancel":
+                if events:
+                    event, oracle_entry = events[value % len(events)]
+                    if event is not None:
+                        event.cancel()
+                        oracle_entry[3] = True
+            elif command == "run_until":
+                target = engine.now + value
+                engine.run_until(target)
+                oracle.run_until(target)
+            else:
+                engine.run()
+                oracle.run()
+            # Quiescence bookkeeping is exact at every step.
+            assert engine.runnable_events == _scan_runnable(engine)
+            assert engine.quiescent == (engine.runnable_events == 0)
+            assert engine.pending_events >= engine.runnable_events
+
+        engine.run()
+        oracle.run()
+        assert fired == oracle.fired
+        assert engine.quiescent
+        assert engine.now == oracle.now or not oracle.fired
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        total=st.integers(70, 160),
+        cancel_stride=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    def test_compaction_never_drops_runnable_events(self, total,
+                                                    cancel_stride, seed):
+        """Cancelling more than half the queue triggers compaction (the
+        queue shrinks in place); every surviving runnable event still
+        fires, in (time, sequence) order."""
+        engine = SimulationEngine()
+        fired = []
+        survivors = []
+        events = []
+        for index in range(total):
+            delay = float((index * 7 + seed) % 23)
+            events.append((engine.schedule(delay, lambda i=index: fired.append(i)),
+                           delay, index))
+        for position, (event, delay, index) in enumerate(events):
+            if position % (cancel_stride + 1) != 0:
+                event.cancel()
+            else:
+                survivors.append((engine.now + delay, index))
+        if total - len(survivors) > total // 2:
+            # Compaction must have removed the cancelled majority.
+            assert engine.pending_events <= len(survivors) + total // 2
+        assert engine.runnable_events == len(survivors)
+        engine.run()
+        assert fired == [index for _time, index in sorted(survivors)]
+        assert engine.quiescent
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        delays=st.lists(st.floats(0.0, 5.0, allow_nan=False),
+                        min_size=1, max_size=40),
+        horizon=st.floats(0.0, 6.0, allow_nan=False),
+    )
+    def test_run_until_boundary_inclusive(self, delays, horizon):
+        """run_until fires exactly the events with time <= horizon."""
+        engine = SimulationEngine()
+        fired = []
+        for index, delay in enumerate(delays):
+            engine.schedule(delay, lambda i=index: fired.append(i))
+        engine.run_until(horizon)
+        expected = [index for index, delay in sorted(
+            enumerate(delays), key=lambda pair: (pair[1], pair[0]))
+            if delay <= horizon]
+        assert fired == expected
+        assert engine.now >= horizon

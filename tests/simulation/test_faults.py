@@ -13,6 +13,7 @@ from repro.core import VoroNet, VoroNetConfig
 from repro.simulation.failures import CrashInjector
 from repro.simulation.faults import (
     FaultPlane,
+    HeartbeatConfig,
     HeartbeatDetector,
     ProtocolChurnHarness,
     ProtocolCrashInjector,
@@ -218,6 +219,182 @@ class TestHeartbeatDetector:
         assert report.converged
         assert detector.suspected() == {}
         assert simulator.verify_views() == []
+
+
+# ----------------------------------------------------------------------
+# piggy-backed / sampled liveness
+# ----------------------------------------------------------------------
+class TestHeartbeatConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(miss_threshold=0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatConfig(sample_fraction=1.5)
+
+    def test_sample_period(self):
+        assert HeartbeatConfig().sample_period == 1
+        assert HeartbeatConfig(sample_fraction=0.25).sample_period == 4
+        assert HeartbeatConfig(sample_fraction=0.1).sample_period == 10
+
+    def test_detector_rejects_config_plus_kwargs(self):
+        simulator = build_simulator(count=20, seed=6)
+        with pytest.raises(ValueError):
+            HeartbeatDetector(simulator, interval=4.0,
+                              config=HeartbeatConfig())
+
+    def test_full_probe_config_is_byte_identical_to_kwargs(self):
+        """Parity pin: with piggyback/sampling off, the optimized detector
+        takes the legacy code path — identical counters on twin overlays."""
+        counters = []
+        for construct in ("kwargs", "config"):
+            simulator = build_simulator(count=80, seed=21)
+            if construct == "kwargs":
+                detector = HeartbeatDetector(simulator, interval=8.0,
+                                             miss_threshold=2)
+            else:
+                detector = HeartbeatDetector(
+                    simulator, config=HeartbeatConfig(interval=8.0,
+                                                      miss_threshold=2))
+            detector.run_rounds(3)
+            assert not simulator.piggyback_liveness
+            counters.append(simulator.network.snapshot_counters())
+        assert counters[0] == counters[1]
+
+
+class TestPiggybackLiveness:
+    def test_healthy_overlay_stays_suspectless_and_cheaper(self):
+        """Piggy-backed rounds on a healthy overlay create no suspicion and
+        probe strictly less than full-probe rounds (alternation + PONG
+        suppression + long-link sampling)."""
+        simulator = build_simulator(count=80, seed=31)
+        full = HeartbeatDetector(simulator, config=HeartbeatConfig())
+        before = simulator.network.messages_sent
+        assert full.run_rounds(4) == []
+        full_cost = simulator.network.messages_sent - before
+
+        simulator = build_simulator(count=80, seed=31)
+        piggy = HeartbeatDetector(simulator, config=HeartbeatConfig(
+            piggyback=True, sample_fraction=0.25))
+        assert simulator.piggyback_liveness
+        before = simulator.network.messages_sent
+        assert piggy.run_rounds(4) == []
+        piggy_cost = simulator.network.messages_sent - before
+        assert piggy_cost < full_cost / 2
+        assert piggy.suspected() == {}
+
+    def test_ordinary_traffic_substitutes_for_probes(self):
+        """A peer heard from through protocol traffic is not probed."""
+        simulator = build_simulator(count=60, seed=32)
+        detector = HeartbeatDetector(simulator, config=HeartbeatConfig(
+            piggyback=True))
+        detector.run_round()  # seeds freshness via crossing probes
+        cost_idle = simulator.network.sent_by_kind.get("PING", 0)
+        rng = RandomSource(5)
+        for _ in range(30):
+            simulator.query(rng.random_point())
+        detector.run_round()
+        detector.run_round()
+        assert detector.suspected() == {}
+        # With traffic continuously refreshing edges, total pings stay far
+        # below two additional full-probe rounds.
+        assert simulator.network.sent_by_kind.get("PING", 0) < 3 * cost_idle
+
+    def test_retired_piggyback_detector_cannot_poison_full_probe(self):
+        """Regression: a piggyback detector's leftover probe bookkeeping
+        (round numbers in ``last_ping_round``) must never suppress PONGs
+        answered to a *later* full-probe detector — the eras stamped into
+        piggyback probes keep the entries from matching."""
+        simulator = build_simulator(count=40, seed=36)
+        HeartbeatDetector(simulator, config=HeartbeatConfig(
+            piggyback=True)).run_rounds(2)
+        follow_up = HeartbeatDetector(
+            simulator, config=HeartbeatConfig(miss_threshold=1))
+        assert follow_up.run_round() == []
+        assert follow_up.suspected() == {}
+
+    def test_idle_overlay_crash_detected_without_traffic(self):
+        """Regression: freshness must age in *rounds*, not virtual time.
+
+        Synchronous rounds on an idle overlay barely advance the clock, so
+        a time-based freshness window freezes after the first probing
+        round and a later crash would never be probed again.  Idle rounds
+        first, then a crash, then detection within the documented
+        2·miss_threshold + sample_period budget."""
+        config = HeartbeatConfig(piggyback=True, sample_fraction=0.25)
+        simulator = build_simulator(count=60, seed=34)
+        detector = HeartbeatDetector(simulator, config=config)
+        detector.run_rounds(5)  # idle: no traffic besides the probes
+        assert detector.suspected() == {}
+        injector = ProtocolCrashInjector(simulator, rng=RandomSource(8))
+        victims = set(injector.crash_random(5))
+        budget = 2 * config.miss_threshold + config.sample_period + 2
+        detector.run_rounds(budget)
+        for node in simulator.nodes.values():
+            for peer in node.monitored_peers():
+                if peer in victims:
+                    assert peer in node.suspects
+
+    def test_sampled_detection_still_finds_all_damage(self):
+        """Long-link/back-link edges are probed on a stride; every stale
+        reference to a crashed peer must still be suspected within the
+        threshold + freshness window + sampling period budget."""
+        config = HeartbeatConfig(piggyback=True, sample_fraction=0.25)
+        simulator = build_simulator(count=100, seed=33, num_long_links=2)
+        injector = ProtocolCrashInjector(simulator, rng=RandomSource(3))
+        victims = set(injector.crash_random(10))
+        detector = HeartbeatDetector(simulator, config=config)
+        budget = (2 * config.miss_threshold + config.sample_period + 2)
+        for _ in range(budget):
+            detector.run_round()
+        for node in simulator.nodes.values():
+            for peer in node.monitored_peers():
+                if peer in victims:
+                    assert peer in node.suspects
+        report = RepairProtocol(simulator, detector=detector).repair()
+        assert report.converged
+        assert injector.assess_damage().total_stale_entries == 0
+        assert simulator.verify_views() == []
+
+    def test_piggyback_repair_converges_under_heavy_loss(self):
+        """The acceptance scenario: 10% crash, 30% loss, piggyback and
+        sampling on — detection and repair still converge in budget."""
+        harness = ProtocolChurnHarness(
+            num_objects=200, seed=33, churn_events=16, crash_fraction=0.1,
+            loss_probability=0.3,
+            heartbeat=HeartbeatConfig(piggyback=True, sample_fraction=0.25),
+            max_detection_rounds=16, max_repair_rounds=32)
+        report = harness.run()
+        assert report.converged
+        assert report.verify_problems == 0
+        assert report.residual_damage.total_stale_entries == 0
+
+    def test_steady_state_measurement_reports_reduction(self):
+        harness = ProtocolChurnHarness(num_objects=150, seed=41,
+                                       churn_events=0, crash_fraction=0.1,
+                                       measure_liveness=True,
+                                       liveness_rounds=3, liveness_queries=15)
+        report = harness.run()
+        steady = report.steady_state_liveness
+        assert steady is not None
+        assert steady["full_probe_messages"] > 0
+        assert steady["piggyback_messages"] > 0
+        assert steady["reduction"] >= 3.0
+        # The measurement must not break the experiment itself.
+        assert report.converged
+        assert report.verify_problems == 0
+
+    def test_measurement_is_reproducible(self):
+        reports = [
+            ProtocolChurnHarness(num_objects=120, seed=43, churn_events=8,
+                                 crash_fraction=0.1, measure_liveness=True,
+                                 liveness_rounds=2, liveness_queries=10).run()
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
 
 
 # ----------------------------------------------------------------------

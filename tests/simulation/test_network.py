@@ -79,6 +79,70 @@ class TestDelivery:
         assert snapshot["kind:A"] == 1
 
 
+class TestDropAccounting:
+    def test_undeliverable_self_handoff_not_counted(self, engine, network):
+        """Local hand-offs are free in send; their drops are free too."""
+        network.send(Message(sender=5, recipient=5, kind="LOCAL"))
+        engine.run()
+        assert network.messages_dropped == 0
+        assert network.messages_sent == 0
+        assert network.messages_delivered == 0
+
+    def test_unregister_voids_in_flight_messages_as_dropped(self, engine, network):
+        received = []
+        network.register(1, received.append)
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        network.unregister(1)  # message still in flight
+        engine.run()
+        assert received == []
+        assert network.messages_dropped == 1
+        assert network.messages_delivered == 0
+
+    def test_unregister_voids_in_flight_self_handoff_uncounted(self, engine,
+                                                               network):
+        received = []
+        network.register(1, received.append)
+        network.send(Message(sender=1, recipient=1, kind="LOCAL"))
+        network.unregister(1)
+        engine.run()
+        assert received == []
+        assert network.messages_dropped == 0
+
+    def test_unregister_voids_deliveries_to_replaced_handlers(self, engine,
+                                                              network):
+        """A departed node can never be handed a message, even one sent
+        before its handler was replaced."""
+        old_received, new_received = [], []
+        network.register(1, old_received.append)
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        network.register(1, new_received.append)
+        network.send(Message(sender=0, recipient=1, kind="PING"))
+        network.unregister(1)
+        engine.run()
+        assert old_received == [] and new_received == []
+        assert network.messages_dropped == 2
+
+    def test_late_registration_still_delivers(self, engine, network):
+        """A recipient registering while the message is in flight gets it
+        (the unregistered-at-send slow path resolves at delivery time)."""
+        received = []
+        network.send(Message(sender=0, recipient=3, kind="PING"))
+        network.register(3, received.append)
+        engine.run()
+        assert len(received) == 1
+        assert network.messages_dropped == 0
+        assert network.messages_delivered == 1
+
+    def test_counters_reconcile_at_quiescence(self, engine, network):
+        network.register(1, lambda message: None)
+        network.send(Message(sender=0, recipient=1, kind="A"))
+        network.send(Message(sender=0, recipient=9, kind="B"))  # dropped
+        engine.run()
+        snapshot = network.snapshot_counters()
+        assert snapshot["sent"] == snapshot["delivered"] + snapshot["dropped"] \
+            + snapshot["lost"]
+
+
 class TestLatencyModels:
     def test_constant_latency_validation(self):
         with pytest.raises(ValueError):
@@ -95,3 +159,39 @@ class TestLatencyModels:
             UniformLatency(3.0, 1.0)
         with pytest.raises(ValueError):
             UniformLatency(-1.0, 1.0)
+
+    def test_bind_rng_adopts_stream_only_when_defaulted(self):
+        explicit = UniformLatency(1.0, 3.0, rng=RandomSource(1))
+        reference = UniformLatency(1.0, 3.0, rng=RandomSource(1))
+        explicit.bind_rng(RandomSource(999))
+        message = Message(sender=0, recipient=1, kind="X")
+        draws = [explicit.sample(message) for _ in range(10)]
+        assert draws == [reference.sample(message) for _ in range(10)]
+
+        defaulted = UniformLatency(1.0, 3.0)
+        defaulted.bind_rng(RandomSource(7))
+        rebound = UniformLatency(1.0, 3.0, rng=RandomSource(7))
+        assert [defaulted.sample(message) for _ in range(10)] == \
+            [rebound.sample(message) for _ in range(10)]
+
+    def test_simulator_seeds_default_uniform_latency(self):
+        """End-to-end reproducibility: an unseeded UniformLatency adopts a
+        child of the simulator's seeded stream, so identical seeds give
+        identical virtual timelines."""
+        from repro.core.config import VoroNetConfig
+        from repro.simulation.protocol import ProtocolSimulator
+
+        def run(seed):
+            simulator = ProtocolSimulator(
+                VoroNetConfig(n_max=256, seed=seed), seed=seed,
+                latency=UniformLatency(0.5, 2.5))
+            rng = RandomSource(seed)
+            for _ in range(12):
+                simulator.join(rng.random_point())
+            return (simulator.engine.now,
+                    simulator.network.snapshot_counters())
+
+        assert run(11) == run(11)
+        # Different seeds must actually draw different latencies (the
+        # pre-fix behaviour was an unseeded global default either way).
+        assert run(11)[0] != run(12)[0]

@@ -17,6 +17,24 @@ def simulator(numpy_rng):
     return sim
 
 
+class TestMessageDispatch:
+    def test_unknown_message_kind_raises(self, simulator):
+        from repro.simulation.network import Message
+
+        node = simulator.node(simulator.object_ids()[0])
+        with pytest.raises(ValueError, match="unknown message kind"):
+            node.handle(Message(sender=1, recipient=node.object_id,
+                                kind="NO_SUCH_KIND"))
+
+    def test_dispatch_table_resolves_kinds_once(self, simulator):
+        from repro.simulation.protocol import ProtocolNode
+
+        # The fixture's joins exercised the protocol: the per-kind cache
+        # holds resolved handlers shared across nodes.
+        assert "ADD_OBJECT" in ProtocolNode._DISPATCH
+        assert ProtocolNode._DISPATCH["ADD_OBJECT"] is ProtocolNode._on_add_object
+
+
 class TestJoins:
     def test_first_join_costs_no_messages(self):
         sim = ProtocolSimulator(VoroNetConfig(n_max=16, seed=1), seed=1)
