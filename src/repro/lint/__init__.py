@@ -1,0 +1,29 @@
+"""simlint: AST-based invariant checking for the simulation plane.
+
+See ``LINTING.md`` at the repo root for the rule catalogue, the
+suppression syntax and the contracts each rule encodes.  Programmatic
+use::
+
+    from pathlib import Path
+    from repro.lint import run_lint
+
+    findings = run_lint([Path("src")])
+"""
+
+from repro.lint.framework import (Finding, LintConfig, ModuleInfo,
+                                  ParseError, Rule, RULES, register,
+                                  iter_source_files, parse_modules,
+                                  run_lint)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleInfo",
+    "ParseError",
+    "Rule",
+    "RULES",
+    "register",
+    "iter_source_files",
+    "parse_modules",
+    "run_lint",
+]

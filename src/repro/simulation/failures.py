@@ -32,7 +32,7 @@ from repro.workloads.distributions import ObjectDistribution, UniformDistributio
 __all__ = ["ChurnScheduler", "CrashInjector", "CrashDamageReport"]
 
 
-class ChurnScheduler:
+class ChurnScheduler:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Schedules graceful joins and leaves on a simulation engine.
 
     Joins and leaves are drawn from **one merged arrival process**: a
@@ -73,7 +73,8 @@ class ChurnScheduler:
         self._join_rate = join_rate
         self._leave_rate = leave_rate
         self._distribution = distribution or UniformDistribution()
-        self._rng = rng if rng is not None else RandomSource()
+        # Interactive/standalone default; experiments pass a seeded stream.
+        self._rng = rng if rng is not None else RandomSource()  # simlint: ignore[SIM002]
         self._scheduled: List[Event] = []
         self.joins_executed = 0
         self.leaves_executed = 0
@@ -160,7 +161,7 @@ class CrashDamageReport:
                 + self.dangling_back_links + self.stale_voronoi_entries)
 
 
-class CrashInjector:
+class CrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Abruptly removes objects from an oracle-mode overlay.
 
     The triangulation itself is repaired (the hosting substrate notices the
@@ -171,7 +172,8 @@ class CrashInjector:
 
     def __init__(self, overlay: VoroNet, rng: Optional[RandomSource] = None) -> None:
         self._overlay = overlay
-        self._rng = rng if rng is not None else RandomSource()
+        # Interactive/standalone default; experiments pass a seeded stream.
+        self._rng = rng if rng is not None else RandomSource()  # simlint: ignore[SIM002]
         self._crashed: List[int] = []
 
     def crash_random(self, count: int) -> List[int]:
@@ -254,7 +256,7 @@ class CrashInjector:
                                                               link.target)
                     fixed += 1
             stale = {c for c in node.close_neighbors if c in crashed}
-            for close_id in stale:
+            for close_id in sorted(stale):
                 node.discard_close_neighbor(close_id)
                 fixed += 1
             dangling_back = {bl for bl in node.back_links if bl.source in crashed}

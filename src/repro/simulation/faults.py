@@ -150,17 +150,31 @@ class FaultPlane:
         latency drawn uniformly from ``delay_range``.
     """
 
+    __slots__ = ("_rng", "seed", "_crashed", "_partitions",
+                 "loss_probability", "delay_probability", "delay_range",
+                 "decisions", "drops_by_reason")
+
     def __init__(self, *, seed: Optional[int] = None,
                  loss_probability: float = 0.0,
                  delay_probability: float = 0.0,
                  delay_range: Tuple[float, float] = (0.0, 0.0)) -> None:
         self._rng = RandomSource(seed)
+        #: The seed the decision stream was built from (``None`` when the
+        #: plane was deliberately left unseeded) — kept so reprs and
+        #: experiment reports can state how to replay the fault schedule.
+        self.seed = seed
         self._crashed: Set[int] = set()
         self._partitions: List[PartitionSpec] = []
         self.set_loss(loss_probability)
         self.set_delay(delay_probability, delay_range)
         self.decisions = 0
         self.drops_by_reason: Dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        return (f"FaultPlane(seed={self.seed!r}, "
+                f"loss_probability={self.loss_probability!r}, "
+                f"delay_probability={self.delay_probability!r}, "
+                f"delay_range={self.delay_range!r})")
 
     # ------------------------------------------------------------------
     # configuration
@@ -246,7 +260,7 @@ class FaultPlane:
 # ----------------------------------------------------------------------
 # protocol-mode crash injection
 # ----------------------------------------------------------------------
-class ProtocolCrashInjector:
+class ProtocolCrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Abruptly removes objects from a message-level overlay.
 
     The substrate semantics mirror the oracle-mode
@@ -265,7 +279,8 @@ class ProtocolCrashInjector:
         self._simulator = simulator
         if simulator.network.faults is None:
             simulator.network.faults = FaultPlane()
-        self._rng = rng if rng is not None else RandomSource()
+        # Interactive/standalone default; experiments pass a seeded stream.
+        self._rng = rng if rng is not None else RandomSource()  # simlint: ignore[SIM002]
         self._crashed: List[int] = []
 
     @property
@@ -398,7 +413,7 @@ class HeartbeatConfig:
         return max(1, int(round(1.0 / self.sample_fraction)))
 
 
-class HeartbeatDetector:
+class HeartbeatDetector:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Periodic ``PING``/``PONG`` probing with per-node suspect lists.
 
     In the default full-probe configuration every live node probes its
@@ -643,7 +658,7 @@ class RepairReport:
     residual_suspects: int = 0
 
 
-class RepairProtocol:
+class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Heals surviving views after crashes, in phased message rounds.
 
     One :meth:`repair_round` runs five drained phases — ``probe`` (every
@@ -924,7 +939,7 @@ class ProtocolChurnReport:
     steady_state_liveness: Optional[Dict[str, float]] = None
 
 
-class ProtocolChurnHarness:
+class ProtocolChurnHarness:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Wires bulk construction, churn, crashes, detection and repair.
 
     The experiment is reproducible from its seed: the population layout,

@@ -47,6 +47,8 @@ class MetricsRegistry:
     1
     """
 
+    __slots__ = ("_counters", "_histograms")
+
     def __init__(self) -> None:
         self._counters: Dict[str, float] = {}
         self._histograms: Dict[str, _Histogram] = {}

@@ -99,6 +99,8 @@ class Message:
 class LatencyModel(abc.ABC):
     """Delivery-latency model for point-to-point messages."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def sample(self, message: Message) -> float:
         """Latency (virtual time units) for delivering ``message``."""
@@ -115,6 +117,8 @@ class LatencyModel(abc.ABC):
 class ConstantLatency(LatencyModel):
     """Every message takes the same time to deliver."""
 
+    __slots__ = ("latency",)
+
     def __init__(self, latency: float = 1.0) -> None:
         if latency < 0:
             raise ValueError("latency must be non-negative")
@@ -122,6 +126,9 @@ class ConstantLatency(LatencyModel):
 
     def sample(self, message: Message) -> float:
         return self.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConstantLatency(latency={self.latency!r})"
 
 
 class UniformLatency(LatencyModel):
@@ -134,13 +141,17 @@ class UniformLatency(LatencyModel):
     binding; pass ``rng`` explicitly there for reproducibility.
     """
 
+    __slots__ = ("low", "high", "_rng", "_rng_defaulted")
+
     def __init__(self, low: float, high: float,
                  rng: Optional[RandomSource] = None) -> None:
         if not 0 <= low <= high:
             raise ValueError("need 0 <= low <= high")
         self.low = low
         self.high = high
-        self._rng = rng if rng is not None else RandomSource()
+        # Placeholder stream, replaced by the simulator's seeded fork via
+        # bind_rng (see the class docstring).
+        self._rng = rng if rng is not None else RandomSource()  # simlint: ignore[SIM002]
         self._rng_defaulted = rng is None
 
     def bind_rng(self, rng: RandomSource) -> None:
@@ -150,6 +161,25 @@ class UniformLatency(LatencyModel):
 
     def sample(self, message: Message) -> float:
         return self._rng.uniform(self.low, self.high)
+
+    @property
+    def effective_seed(self) -> Optional[int]:
+        """Seed of the stream latencies actually draw from, if known.
+
+        ``None`` either because the model is still on its unseeded
+        placeholder stream (``rng_pending`` in the repr) or because the
+        bound stream was itself derived (e.g. a spawned child); the repr
+        distinguishes the two so SIM002 audits can tell which it is.
+        """
+        return self._rng.seed
+
+    def __repr__(self) -> str:
+        if self._rng_defaulted:
+            provenance = "rng_pending"
+        else:
+            provenance = f"effective_seed={self._rng.provenance!r}"
+        return (f"UniformLatency(low={self.low!r}, high={self.high!r}, "
+                f"{provenance})")
 
 
 class Network:

@@ -309,7 +309,7 @@ class ProtocolNode:
         view changed (the epoch is bumped if so).
         """
         changed = False
-        for peer in peers:
+        for peer in sorted(peers):
             if self.close.pop(peer, None) is not None:
                 changed = True
         stale_back = [key for key in self.back_links if key[0] in peers]
@@ -602,7 +602,7 @@ class ProtocolNode:
         else:
             # Overtaken snapshot: keep the fresher view but still scrub
             # the corroborated ids.
-            for peer in corroborated:
+            for peer in sorted(corroborated):
                 if self.voronoi.pop(peer, None) is not None:
                     changed = True
         self.suspects |= corroborated
@@ -679,7 +679,7 @@ class ProtocolNode:
 # ----------------------------------------------------------------------
 # the simulator
 # ----------------------------------------------------------------------
-class ProtocolSimulator:
+class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Drives the message-level VoroNet protocol over the event engine.
 
     Parameters
@@ -1063,7 +1063,7 @@ class ProtocolSimulator:
         new_view = {nid: self.kernel.point(nid) for nid in self.kernel.neighbors(new_id)}
         self.send(owner, new_id, "CREATE_OBJECT",
                   {"voronoi": new_view, "version": version})
-        for neighbor_id in affected:
+        for neighbor_id in sorted(affected):
             if neighbor_id == new_id or neighbor_id not in self.nodes:
                 continue
             view = {nid: self.kernel.point(nid)
@@ -1087,7 +1087,7 @@ class ProtocolSimulator:
         if len(self.kernel) <= 8 or not self.kernel.has_triangulation:
             affected = set(self.kernel.vertex_ids())
         # 1. Region updates to the neighbours inheriting the region.
-        for neighbor_id in affected:
+        for neighbor_id in sorted(affected):
             if neighbor_id not in self.nodes:
                 continue
             view = {nid: self.kernel.point(nid)

@@ -36,6 +36,8 @@ class TraceRecorder:
         toggled at runtime so only interesting phases are traced.
     """
 
+    __slots__ = ("_records", "enabled", "dropped")
+
     def __init__(self, capacity: int = 100_000, enabled: bool = True) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")

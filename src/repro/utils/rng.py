@@ -35,18 +35,21 @@ class RandomSource:
     True
     """
 
-    __slots__ = ("_generator", "_seed")
+    __slots__ = ("_generator", "_seed", "_provenance")
 
     def __init__(self, seed: SeedLike = None) -> None:
         if isinstance(seed, RandomSource):
             self._generator = seed._generator
             self._seed = seed._seed
+            self._provenance = seed._provenance
         elif isinstance(seed, np.random.Generator):
             self._generator = seed
             self._seed = None
+            self._provenance = "generator"
         else:
             self._generator = np.random.default_rng(seed)
             self._seed = seed
+            self._provenance = "unseeded" if seed is None else str(seed)
 
     # ------------------------------------------------------------------
     # basic draws
@@ -60,6 +63,19 @@ class RandomSource:
     def seed(self) -> Optional[int]:
         """The seed this source was constructed with, if known."""
         return self._seed if isinstance(self._seed, int) else None
+
+    @property
+    def provenance(self) -> str:
+        """How this stream was derived, as an auditable string.
+
+        ``"42"`` for a directly seeded source, ``"42.spawn[1]"`` for the
+        second child spawned from it (and so on recursively),
+        ``"unseeded"`` for an OS-entropy source, ``"generator"`` when
+        wrapping a caller-supplied numpy generator.  Components expose
+        this in their reprs so a SIM002 determinism audit can trace every
+        stream back to the experiment seed.
+        """
+        return self._provenance
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """Draw a single float uniformly from ``[low, high)``."""
@@ -115,15 +131,26 @@ class RandomSource:
         parallel components (e.g. independent simulation replicas) never
         share a stream.
         """
-        children = self._generator.spawn(n)
-        return [RandomSource(child) for child in children]
+        children = []
+        for index, generator in enumerate(self._generator.spawn(n)):
+            child = RandomSource(generator)
+            # numpy's SeedSequence numbers children across *all* spawn
+            # calls on this parent; prefer it so two successive fork()s
+            # get distinct provenance strings.
+            try:
+                index = generator.bit_generator.seed_seq.spawn_key[-1]
+            except (AttributeError, IndexError):
+                pass
+            child._provenance = f"{self._provenance}.spawn[{index}]"
+            children.append(child)
+        return children
 
     def fork(self) -> "RandomSource":
         """Convenience wrapper returning a single spawned child."""
         return self.spawn(1)[0]
 
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"RandomSource(seed={self._seed!r})"
+    def __repr__(self) -> str:
+        return f"RandomSource(provenance={self._provenance!r})"
 
 
 def spawn_rng(seed: SeedLike, count: int) -> Iterator[RandomSource]:

@@ -1,0 +1,481 @@
+"""Fixture-snippet tests: positive, negative and suppressed per rule."""
+
+import textwrap
+from pathlib import Path
+from typing import List
+
+from repro.lint import run_lint
+
+
+def lint_snippet(tmp_path: Path, source: str, *,
+                 name: str = "repro/simulation/snippet.py",
+                 select=None) -> List[str]:
+    """Lint one dedented snippet; returns ``rule:line`` strings."""
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    findings = run_lint([tmp_path], select=select)
+    return [f"{f.rule}:{f.line}" for f in findings]
+
+
+# ----------------------------------------------------------------------
+# SIM001 — epoch contract
+# ----------------------------------------------------------------------
+SIM001 = ["SIM001"]
+
+
+def test_sim001_positive_mutation_without_bump(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_region_update(self, message):
+                self.voronoi[1] = message
+    """, select=SIM001)
+    assert found == ["SIM001:3"]
+
+
+def test_sim001_positive_branch_missing_bump(tmp_path):
+    # The bump in the if-branch does not cover the else-branch mutation.
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_close_declare(self, message):
+                if message:
+                    self.close[1] = message
+                    self.touch_view()
+                else:
+                    self.close.pop(2, None)
+    """, select=SIM001)
+    assert found == ["SIM001:7"]
+
+
+def test_sim001_positive_mutating_method_call(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def handle_join(self, message):
+                self.long_links.append(message)
+    """, select=SIM001)
+    assert found == ["SIM001:3"]
+
+
+def test_sim001_negative_bump_after_mutation(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_region_update(self, message):
+                self.voronoi[1] = message
+                self.touch_view()
+    """, select=SIM001)
+    assert found == []
+
+
+def test_sim001_negative_changed_flag_idiom(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_view_scrub(self, message):
+                changed = False
+                if message:
+                    self.voronoi.pop(1, None)
+                    changed = True
+                if changed:
+                    self.touch_view()
+    """, select=SIM001)
+    assert found == []
+
+
+def test_sim001_negative_direct_epoch_increment(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_backlink_remove(self, message):
+                self.back_links.pop(message, None)
+                self.view_epoch += 1
+    """, select=SIM001)
+    assert found == []
+
+
+def test_sim001_negative_alias_mutation_then_bump(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_long_link_retarget(self, message):
+                link = self.long_links[0]
+                link.neighbor = message
+                self.touch_view()
+    """, select=SIM001)
+    assert found == []
+
+
+def test_sim001_positive_alias_mutation_without_bump(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_long_link_retarget(self, message):
+                link = self.long_links[0]
+                link.neighbor = message
+    """, select=SIM001)
+    assert found == ["SIM001:4"]
+
+
+def test_sim001_negative_non_handler_method(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def rebuild(self):
+                self.voronoi = {}
+    """, select=SIM001)
+    assert found == []
+
+
+def test_sim001_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_region_update(self, message):
+                self.voronoi[1] = message  # simlint: ignore[SIM001]
+    """, select=SIM001)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# SIM002 — determinism
+# ----------------------------------------------------------------------
+SIM002 = ["SIM002"]
+
+
+def test_sim002_positive_global_random(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        import random
+
+        def pick():
+            return random.random()
+    """, select=SIM002)
+    assert found == ["SIM002:4"]
+
+
+def test_sim002_positive_unseeded_generators(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        import random
+        import numpy as np
+        from repro.utils.rng import RandomSource
+
+        A = random.Random()
+        B = np.random.default_rng()
+        C = RandomSource()
+    """, select=SIM002)
+    assert found == ["SIM002:5", "SIM002:6", "SIM002:7"]
+
+
+def test_sim002_negative_seeded_generators(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        import random
+        import numpy as np
+        from repro.utils.rng import RandomSource
+
+        A = random.Random(7)
+        B = np.random.default_rng(7)
+        C = RandomSource(7)
+    """, select=SIM002)
+    assert found == []
+
+
+def test_sim002_positive_wall_clock(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        import time
+        import datetime
+
+        def stamp():
+            return time.time(), datetime.datetime.now()
+    """, select=SIM002)
+    assert found == ["SIM002:5", "SIM002:5"]
+
+
+def test_sim002_positive_set_iteration(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def spread(node):
+            peers = set(node.neighbors)
+            for peer in peers:
+                node.send(peer)
+    """, select=SIM002)
+    assert found == ["SIM002:3"]
+
+
+def test_sim002_positive_set_annotated_param(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        from typing import Set
+
+        def spread(peers: Set[int]):
+            for peer in peers:
+                pass
+    """, select=SIM002)
+    assert found == ["SIM002:4"]
+
+
+def test_sim002_negative_sorted_iteration(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def spread(node):
+            peers = set(node.neighbors)
+            for peer in sorted(peers):
+                node.send(peer)
+    """, select=SIM002)
+    assert found == []
+
+
+def test_sim002_negative_set_comprehension_derivation(tmp_path):
+    # Set-to-set derivations are order-independent and exempt.
+    found = lint_snippet(tmp_path, """\
+        def scrub(node, crashed):
+            stale = {c for c in node.close if c in crashed}
+            node.close -= stale
+    """, select=SIM002)
+    assert found == []
+
+
+def test_sim002_negative_rebound_variable(tmp_path):
+    # After rebinding to a list the name is no longer set-typed.
+    found = lint_snippet(tmp_path, """\
+        def spread(node):
+            peers = set(node.neighbors)
+            peers = sorted(peers)
+            for peer in peers:
+                node.send(peer)
+    """, select=SIM002)
+    assert found == []
+
+
+def test_sim002_out_of_scope_path_not_linted(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        import random
+
+        def pick():
+            return random.random()
+    """, name="repro/experiments/runner.py", select=SIM002)
+    assert found == []
+
+
+def test_sim002_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        from repro.utils.rng import RandomSource
+
+        RNG = RandomSource()  # simlint: ignore[SIM002]
+    """, select=SIM002)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# SIM003 — slots
+# ----------------------------------------------------------------------
+SIM003 = ["SIM003"]
+
+
+def test_sim003_positive_unslotted_class(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Hot:
+            def __init__(self):
+                self.value = 1
+    """, select=SIM003)
+    assert found == ["SIM003:1"]
+
+
+def test_sim003_negative_slotted_class(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Hot:
+            __slots__ = ("value",)
+
+            def __init__(self):
+                self.value = 1
+    """, select=SIM003)
+    assert found == []
+
+
+def test_sim003_negative_dataclass(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class Report:
+            value: int = 0
+    """, select=SIM003)
+    assert found == []
+
+
+def test_sim003_negative_no_init_attrs(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Stateless:
+            def compute(self):
+                return 1
+    """, select=SIM003)
+    assert found == []
+
+
+def test_sim003_out_of_scope_path_not_linted(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Cold:
+            def __init__(self):
+                self.value = 1
+    """, name="repro/analysis/report.py", select=SIM003)
+    assert found == []
+
+
+def test_sim003_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Coordinator:  # simlint: ignore[SIM003] — one per experiment
+            def __init__(self):
+                self.value = 1
+    """, select=SIM003)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# SIM004 — dispatch consistency
+# ----------------------------------------------------------------------
+SIM004 = ["SIM004"]
+
+
+def test_sim004_positive_sent_but_unhandled(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_ping(self, message):
+                self.send(self, message.sender, "PONG")
+
+            def _on_pong(self, message):
+                pass
+
+        def probe(node, peer):
+            node.send(node, peer, "PING")
+            node.send(node, peer, "HEARTBEAT")
+    """, select=SIM004)
+    assert found == ["SIM004:10"]
+
+
+def test_sim004_positive_handled_but_never_sent(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_ping(self, message):
+                pass
+
+            def _on_pong(self, message):
+                pass
+
+        def probe(node, peer):
+            node.send(node, peer, "PING")
+    """, select=SIM004)
+    assert found == ["SIM004:5"]
+
+
+def test_sim004_negative_balanced_kinds(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_ping(self, message):
+                self.send(self, message.sender, "PONG")
+
+            def _on_pong(self, message):
+                pass
+
+        def probe(node, peer):
+            node.send(node, peer, kind="PING")
+    """, select=SIM004)
+    assert found == []
+
+
+def test_sim004_message_construction_counts_as_send(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_query(self, message):
+                pass
+
+        def ask(network, a, b):
+            network.deliver(Message(a, b, "QUERY"))
+    """, select=SIM004)
+    assert found == []
+
+
+def test_sim004_skips_programs_without_handlers(tmp_path):
+    # Linting a subset with no _on_* handlers must not flag sent kinds.
+    found = lint_snippet(tmp_path, """\
+        def probe(node, peer):
+            node.send(node, peer, "PING")
+    """, select=SIM004)
+    assert found == []
+
+
+def test_sim004_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Node:
+            def _on_ping(self, message):
+                pass
+
+            def _on_pong(self, message):  # simlint: ignore[SIM004]
+                pass
+
+        def probe(node, peer):
+            node.send(node, peer, "PING")
+    """, select=SIM004)
+    assert found == []
+
+
+# ----------------------------------------------------------------------
+# SIM005 — stats accounting
+# ----------------------------------------------------------------------
+SIM005 = ["SIM005"]
+
+STATS_DEF = """\
+    class OverlayStats:
+        joins: int = 0
+        routes: int = 0
+
+        def reset(self):
+            self.joins = 0
+            self.routes = 0
+"""
+
+
+def test_sim005_positive_unknown_counter(tmp_path):
+    found = lint_snippet(tmp_path, STATS_DEF + """\
+
+        class Overlay:
+            def route(self):
+                self._stats.rouets += 1
+    """, select=SIM005)
+    assert found == ["SIM005:11"]
+
+
+def test_sim005_positive_unknown_record_call(tmp_path):
+    found = lint_snippet(tmp_path, STATS_DEF + """\
+
+        class Overlay:
+            def join(self):
+                self.stats.jonis.record(2)
+    """, select=SIM005)
+    assert found == ["SIM005:11"]
+
+
+def test_sim005_negative_known_counter(tmp_path):
+    found = lint_snippet(tmp_path, STATS_DEF + """\
+
+        class Overlay:
+            def route(self):
+                self._stats.routes += 1
+                self.stats.reset()
+    """, select=SIM005)
+    assert found == []
+
+
+def test_sim005_reads_are_not_flagged(tmp_path):
+    found = lint_snippet(tmp_path, STATS_DEF + """\
+
+        def summarize(overlay):
+            return overlay.stats.anything_at_all
+    """, select=SIM005)
+    assert found == []
+
+
+def test_sim005_skips_programs_without_stats_classes(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        class Overlay:
+            def route(self):
+                self._stats.rouets += 1
+    """, select=SIM005)
+    assert found == []
+
+
+def test_sim005_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, STATS_DEF + """\
+
+        class Overlay:
+            def route(self):
+                self._stats.shadow_counter += 1  # simlint: ignore[SIM005]
+    """, select=SIM005)
+    assert found == []

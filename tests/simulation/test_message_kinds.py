@@ -1,0 +1,56 @@
+"""Regression pin: the protocol's sent and handled message-kind sets match.
+
+Uses the simlint SIM004 collectors over the shipped sources, so a new
+``send(..., "KIND")`` without an ``_on_kind`` handler (or a dead handler)
+fails here with a named diff even before the CI lint gate runs.
+"""
+
+from pathlib import Path
+
+from repro.lint import iter_source_files, parse_modules
+from repro.lint.rules import collect_handled_kinds, collect_sent_kinds
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Every message kind of the protocol plane, each both sent and handled.
+EXPECTED_KINDS = frozenset({
+    "ADD_OBJECT", "CREATE_OBJECT",
+    "CLOSE_REQUEST", "CLOSE_REPLY", "CLOSE_DECLARE", "CLOSE_LEAVE",
+    "SEARCH_LONG_LINK", "LONG_LINK_ESTABLISHED", "LONG_LINK_RETARGET",
+    "REGION_UPDATE", "BACKLINK_TRANSFER", "BACKLINK_REMOVE",
+    "VIEW_SCRUB", "SUSPECT_NOTIFY",
+    "PING", "PONG",
+    "QUERY", "QUERY_ANSWER",
+})
+
+
+def collect():
+    modules, errors = parse_modules(iter_source_files([SRC]))
+    assert errors == []
+    return collect_sent_kinds(modules), collect_handled_kinds(modules)
+
+
+def test_sent_kinds_equal_handled_kinds():
+    sent, handled = collect()
+    assert set(sent) == set(handled), (
+        f"unhandled kinds: {sorted(set(sent) - set(handled))}; "
+        f"dead handlers: {sorted(set(handled) - set(sent))}")
+
+
+def test_kind_set_is_pinned():
+    sent, handled = collect()
+    assert set(sent) == EXPECTED_KINDS
+    assert set(handled) == EXPECTED_KINDS
+
+
+def test_every_kind_dispatches_to_a_real_handler():
+    """The AST-level pin above matches the runtime dispatch convention.
+
+    ``ProtocolNode.handle`` resolves ``kind`` → ``_on_<kind.lower()>``
+    lazily, so check the handler attributes directly.
+    """
+    from repro.simulation.protocol import ProtocolNode
+
+    for kind in EXPECTED_KINDS:
+        assert callable(getattr(ProtocolNode, f"_on_{kind.lower()}", None)), \
+            f"no handler for {kind}"
