@@ -66,6 +66,12 @@ class OverlayStats:
     baseline for the ROADMAP's per-shard-epoch follow-up: a global epoch
     invalidates every table on any churn, and this counter is exactly the
     rebuild work that coarse invalidation causes.
+
+    ``operation_timeouts`` / ``operation_retries`` count watchdog expiries
+    and the retries they triggered on multi-message operations (join,
+    close discovery, long-link search) — the protocol-hardening vocabulary
+    shared with the message-level simulator's metrics registry.  Both stay
+    zero in fault-free runs.
     """
 
     joins: OperationStats = field(default_factory=OperationStats)
@@ -74,6 +80,8 @@ class OverlayStats:
     queries: OperationStats = field(default_factory=OperationStats)
     long_link_searches: OperationStats = field(default_factory=OperationStats)
     routing_table_rebuilds: int = 0
+    operation_timeouts: int = 0
+    operation_retries: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark phases)."""
@@ -83,6 +91,8 @@ class OverlayStats:
         self.queries = OperationStats()
         self.long_link_searches = OperationStats()
         self.routing_table_rebuilds = 0
+        self.operation_timeouts = 0
+        self.operation_retries = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict summary: per-operation stat dicts plus flat counters.
@@ -97,6 +107,8 @@ class OverlayStats:
             "queries": self.queries.as_dict(),
             "long_link_searches": self.long_link_searches.as_dict(),
             "routing_table_rebuilds": self.routing_table_rebuilds,
+            "operation_timeouts": self.operation_timeouts,
+            "operation_retries": self.operation_retries,
         }
 
     def describe(self) -> List[str]:

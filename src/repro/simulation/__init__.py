@@ -45,9 +45,22 @@ entirely through counted messages.  ``ProtocolChurnHarness`` wires it all
 into one reproducible churn/crash/repair experiment; the oracle-mode
 injectors in :mod:`repro.simulation.failures` remain the fast path for
 damage accounting without message simulation.
+
+Crash-at-any-message hardening and fuzzing
+------------------------------------------
+Multi-message operations (join carving, close discovery, long-link
+search, leave hand-over) are guarded by engine-scheduled ``Watchdog``
+timeouts with idempotent, version-stamped retries under a
+``TimeoutPolicy``; a node dying mid-conversation surfaces as a
+``timed_out`` outcome instead of wedging the protocol.
+:mod:`repro.simulation.fuzz` turns the simulator's determinism into a
+Jepsen-style harness: ``CrashScheduleFuzzer`` crashes a victim at an
+exact global message index and asserts convergence back to clean views,
+with every failure replayable from its ``(seed, message_index,
+victim_rank)`` triple (see ``TESTING.md``).
 """
 
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SimulationEngine, Watchdog
 from repro.simulation.events import Event
 from repro.simulation.network import (
     ConstantLatency,
@@ -70,16 +83,24 @@ from repro.simulation.faults import (
     RepairProtocol,
     RepairReport,
 )
+from repro.simulation.fuzz import (
+    CrashSchedule,
+    CrashScheduleFuzzer,
+    FuzzOutcome,
+    FuzzSweepReport,
+)
 from repro.simulation.protocol import (
     BulkJoinReport,
     JoinReport,
     LeaveReport,
     ProtocolSimulator,
     QueryReport,
+    TimeoutPolicy,
 )
 
 __all__ = [
     "SimulationEngine",
+    "Watchdog",
     "Event",
     "Network",
     "Message",
@@ -105,4 +126,9 @@ __all__ = [
     "JoinReport",
     "LeaveReport",
     "QueryReport",
+    "TimeoutPolicy",
+    "CrashSchedule",
+    "CrashScheduleFuzzer",
+    "FuzzOutcome",
+    "FuzzSweepReport",
 ]

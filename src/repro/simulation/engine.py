@@ -37,7 +37,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.simulation.events import NO_ARG, Event
 
-__all__ = ["SimulationEngine"]
+__all__ = ["SimulationEngine", "Watchdog"]
 
 #: Queues smaller than this are never compacted — rebuilding them costs
 #: more than lazily popping the handful of cancelled entries.
@@ -336,3 +336,85 @@ class SimulationEngine:
         self._cancelled = 0
         self._now = 0.0
         self._processed = 0
+
+
+class Watchdog:
+    """Progress-aware timeout built on the engine's cancellable events.
+
+    Arms one scheduled event ``timeout`` time units out.  :meth:`poke`
+    records progress without touching the queue (an O(1) attribute write —
+    safe to call once per message on the hot path); when the armed event
+    fires, the watchdog compares the clock against the last recorded
+    progress and either *re-schedules itself* at ``last_progress + timeout``
+    (progress happened, so the operation is alive) or invokes ``on_expire``
+    (nothing happened for a full timeout window: a genuine wedge).
+
+    This is what lets the protocol layer put a timeout on multi-hop
+    operations whose healthy duration is unbounded (a routed walk pokes the
+    watchdog on every hop) while still detecting a crash-severed operation
+    after exactly one quiet window.  An operation that completes cancels
+    its watchdog, so a fault-free run schedules and cancels the same events
+    regardless of outcome — byte-identical virtual time and message counts,
+    which the deterministic-replay tests rely on.
+    """
+
+    __slots__ = ("_engine", "timeout", "_on_expire", "_label", "_event",
+                 "_last_progress", "fired")
+
+    def __init__(self, engine: SimulationEngine, timeout: float,
+                 on_expire: Callable[[], None],
+                 label: Optional[str] = "watchdog") -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self._engine = engine
+        self.timeout = timeout
+        self._on_expire = on_expire
+        self._label = label
+        self._last_progress = engine.now
+        #: Number of genuine expiries delivered to ``on_expire`` so far.
+        self.fired = 0
+        self._event: Optional[Event] = engine.schedule(timeout, self._fire,
+                                                       label=label)
+
+    @property
+    def active(self) -> bool:
+        """Whether an expiry event is currently armed."""
+        return self._event is not None
+
+    def poke(self) -> None:
+        """Record progress: the expiry check slides to ``now + timeout``."""
+        self._last_progress = self._engine.now
+
+    def cancel(self) -> None:
+        """Disarm the watchdog (the operation completed)."""
+        event = self._event
+        if event is not None:
+            event.cancel()
+            self._event = None
+
+    def rearm(self, timeout: Optional[float] = None) -> None:
+        """Re-arm after an expiry (or re-start a cancelled watchdog).
+
+        An optional new ``timeout`` implements per-retry backoff.  Progress
+        is reset to *now*: the retry just issued counts as activity.
+        """
+        if timeout is not None:
+            if timeout <= 0:
+                raise ValueError(f"timeout must be positive, got {timeout}")
+            self.timeout = timeout
+        self.cancel()
+        self._last_progress = self._engine.now
+        self._event = self._engine.schedule(self.timeout, self._fire,
+                                            label=self._label)
+
+    def _fire(self) -> None:
+        self._event = None
+        deadline = self._last_progress + self.timeout
+        if self._engine.now < deadline:
+            # Progress since arming: slide the expiry check to one full
+            # quiet window past the last recorded activity.
+            self._event = self._engine.schedule_at(deadline, self._fire,
+                                                   label=self._label)
+            return
+        self.fired += 1
+        self._on_expire()

@@ -301,15 +301,33 @@ class ProtocolCrashInjector:  # simlint: ignore[SIM003] — one per experiment, 
         return victims
 
     def crash(self, object_id: int) -> None:
-        """Crash one object: substrate repaired, protocol hand-overs skipped."""
+        """Crash one object: substrate repaired, protocol hand-overs skipped.
+
+        Safe at *any* message index: a victim caught mid-join may not be
+        carved into the kernel yet, and one caught mid-leave has already
+        withdrawn its region — the kernel removal is therefore conditional
+        on the victim actually backing a vertex.  Multi-message operations
+        the victim was driving are closed out (their watchdogs cancelled);
+        a join still pending surfaces as a ``timed_out`` outcome on the
+        caller's :class:`~repro.simulation.protocol.JoinReport` instead of
+        leaking silently with the victim's starter state.
+        """
         simulator = self._simulator
         if object_id not in simulator.nodes:
             raise KeyError(f"unknown object {object_id}")
+        node = simulator.nodes[object_id]
         simulator.network.faults.crash(object_id)
-        simulator.kernel.remove(object_id)
+        if simulator.kernel.vertex_at(node.position) == object_id:
+            simulator.kernel.remove(object_id)
         simulator.locate.discard(object_id)
         simulator.network.unregister(object_id)
         del simulator.nodes[object_id]
+        for kind, owner in simulator.pending_operations():
+            if owner != object_id:
+                continue
+            simulator.finish_operation((kind, owner))
+            if kind == "join":
+                simulator._join_outcomes[object_id] = "timed_out"
         self._crashed.append(object_id)
         simulator.trace.record(simulator.engine.now, "crash",
                                object_id=object_id)
@@ -773,6 +791,8 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
                                   if suspected_set & set(node.voronoi))
             version = kernel.version
             for object_id in affected:
+                if object_id not in simulator.nodes:
+                    continue  # crashed while this phase was being sent
                 sender_id = next((h for h in holders
                                   if h != object_id and h in simulator.nodes),
                                  object_id)
@@ -794,7 +814,9 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
             before = network.messages_sent
             reissued = 0
             for object_id in sorted(simulator.nodes):
-                node = simulator.nodes[object_id]
+                node = simulator.nodes.get(object_id)
+                if node is None:
+                    continue  # crashed while this phase was being sent
                 for index, link in enumerate(node.long_links):
                     if link.neighbor in node.suspects:
                         key = (object_id, index)
@@ -815,7 +837,9 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         before = network.messages_sent
         d_min = simulator.config.effective_d_min
         for object_id in sorted(simulator.nodes):
-            node = simulator.nodes[object_id]
+            node = simulator.nodes.get(object_id)
+            if node is None:
+                continue  # crashed while this phase was being sent
             if not node.suspects and not node.rehabilitated:
                 continue
             node.rehabilitated.clear()
@@ -863,6 +887,23 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
                     wrong.append((object_id, index))
         return wrong
 
+    def _audit_views(self) -> List[int]:
+        """Ids whose local Voronoi view disagrees with the shared kernel.
+
+        A view can go stale with *no* suspect involved: a consolidated
+        ``REGION_UPDATE`` (or its sender) fed a crash mid-``bulk_join`` or
+        mid-churn, so the recipient never heard about a live neighbour.
+        Suspicion-driven scrubbing cannot reach those — nothing in the
+        view points at a dead node — so convergence needs this explicit
+        anti-entropy pass over the same kernel consultation the scrub
+        phase uses.
+        """
+        simulator = self.simulator
+        kernel = simulator.kernel
+        return [object_id for object_id in sorted(simulator.nodes)
+                if set(simulator.nodes[object_id].voronoi)
+                != set(kernel.neighbors(object_id))]
+
     def repair(self, max_rounds: Optional[int] = None) -> RepairReport:
         """Iterate repair rounds until the overlay converges (or the cap)."""
         simulator = self.simulator
@@ -879,15 +920,31 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
             result = self.repair_round()
             if result is None:
                 wrong = self._audit_long_links()
-                if not wrong:
+                stale_views = self._audit_views()
+                if not wrong and not stale_views:
                     converged = True
                     break
+                before = simulator.network.messages_sent
+                # Stale views (a lost snapshot with no suspect to blame):
+                # re-send the version-stamped kernel truth — the same
+                # VIEW_SCRUB the scrub phase uses, with nothing to scrub.
+                version = simulator.kernel.version
+                for object_id in stale_views:
+                    node = simulator.nodes.get(object_id)
+                    if node is None:
+                        continue  # crashed while this pass was being sent
+                    view = {nid: simulator.kernel.point(nid)
+                            for nid in simulator.kernel.neighbors(object_id)}
+                    simulator.send(node, object_id, "VIEW_SCRUB",
+                                   {"voronoi": view, "version": version,
+                                    "crashed": []})
                 # Mis-held links (repair raced a stale view): re-issue the
                 # routed search for exactly those links — grid-seeded, this
                 # is the settlement pass — and check again.
-                before = simulator.network.messages_sent
                 for object_id, index in wrong:
-                    node = simulator.nodes[object_id]
+                    node = simulator.nodes.get(object_id)
+                    if node is None:
+                        continue  # crashed while this pass was being sent
                     seed = simulator.locate.hint(node.long_links[index].target)
                     node.reissue_long_link(index, seed=seed)
                     self._reissued += 1
@@ -900,7 +957,8 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
                 totals[phase] = totals.get(phase, 0) + count
             rounds += 1
         else:
-            converged = not self._holders() and not self._audit_long_links()
+            converged = (not self._holders() and not self._audit_long_links()
+                         and not self._audit_views())
         residual = sum(len(node.suspects)
                        for node in simulator.nodes.values())
         return RepairReport(rounds=rounds, converged=converged,

@@ -1,0 +1,430 @@
+"""Crash-at-any-message fuzzing: deterministic Jepsen-style schedules.
+
+The engine's virtual clock and the seeded :class:`~repro.simulation.faults.
+FaultPlane` make every protocol run perfectly replayable; this module
+turns that determinism into a correctness harness.  A
+:class:`CrashSchedule` names one experiment — *with this seed, crash a
+victim at exactly this global message index* — and
+:class:`CrashScheduleFuzzer` runs it end to end: build an overlay through
+``bulk_join``, churn it with sequential joins and leaves, fire the crash
+wherever the index lands (mid-carve, mid-close-discovery, mid-search,
+mid-hand-over — the trigger sits inside ``Network.send`` itself), then
+drive bounded detect→repair cycles and assert convergence to a clean
+``verify_views()`` with no leaked operation watchdogs.
+
+Every failure reproduces from its ``(seed, message_index, victim_rank)``
+triple alone: the victim is resolved *by rank over the sorted live ids at
+fire time*, so the triple pins the victim without having to know the
+overlay's population in advance, and :attr:`FuzzOutcome.fingerprint`
+digests the final overlay state so replays can be checked byte-identical.
+
+Two drivers share the harness:
+
+* the Hypothesis stateful suite in ``tests/simulation/test_fuzz.py``,
+  which shrinks a failing schedule to a minimal one, and
+* the sweep CLI — ``python -m repro.simulation.fuzz --seed S
+  --schedules K`` — which derives ``K`` schedules from one master seed,
+  re-runs any failure to confirm it, and emits the failing triples (CI's
+  ``fuzz-smoke`` job uploads them as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import VoroNetConfig
+from repro.simulation.faults import (
+    FaultPlane,
+    HeartbeatDetector,
+    ProtocolCrashInjector,
+    RepairProtocol,
+)
+from repro.simulation.protocol import ProtocolSimulator, TimeoutPolicy
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_objects
+
+__all__ = [
+    "CrashSchedule",
+    "FuzzOutcome",
+    "FuzzSweepReport",
+    "CrashScheduleFuzzer",
+    "main",
+]
+
+
+@dataclass(frozen=True)
+class CrashSchedule:
+    """One crash experiment: seed, global message index, victim rank.
+
+    ``message_index`` is 1-based over every message the run sends (the
+    :meth:`Network.at_message <repro.simulation.network.Network.at_message>`
+    contract); ``None`` runs the schedule fault-free — the baseline that
+    sizes the index range for sweeps.  ``victim_rank`` selects the victim
+    as ``sorted(live ids)[rank % population]`` at the moment the trigger
+    fires, so the whole experiment replays from these three values.
+    """
+
+    seed: int
+    message_index: Optional[int]
+    victim_rank: int = 0
+
+    def __post_init__(self) -> None:
+        if self.message_index is not None and self.message_index < 1:
+            raise ValueError(
+                f"message_index must be >= 1, got {self.message_index}")
+        if self.victim_rank < 0:
+            raise ValueError(
+                f"victim_rank must be >= 0, got {self.victim_rank}")
+
+    def as_triple(self) -> Tuple[int, Optional[int], int]:
+        """The replay triple ``(seed, message_index, victim_rank)``."""
+        return (self.seed, self.message_index, self.victim_rank)
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """Everything one schedule run produced (all derivable from the triple)."""
+
+    schedule: CrashSchedule
+    converged: bool
+    victim: Optional[int]
+    crash_phase: Optional[str]
+    messages: int
+    virtual_time: float
+    verify_problems: int
+    residual_stale: int
+    pending_operations: Tuple[Tuple[str, int], ...]
+    heal_cycles: int
+    operation_timeouts: int
+    operation_retries: int
+    fingerprint: str
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the schedule is a counterexample (crash or divergence)."""
+        return self.error is not None or not self.converged
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary — the shape the CI artifact stores."""
+        return {
+            "seed": self.schedule.seed,
+            "message_index": self.schedule.message_index,
+            "victim_rank": self.schedule.victim_rank,
+            "victim": self.victim,
+            "crash_phase": self.crash_phase,
+            "converged": self.converged,
+            "messages": self.messages,
+            "virtual_time": self.virtual_time,
+            "verify_problems": self.verify_problems,
+            "residual_stale": self.residual_stale,
+            "pending_operations": [list(key) for key in self.pending_operations],
+            "heal_cycles": self.heal_cycles,
+            "operation_timeouts": self.operation_timeouts,
+            "operation_retries": self.operation_retries,
+            "fingerprint": self.fingerprint,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class FuzzSweepReport:
+    """Aggregate of one seeded sweep."""
+
+    master_seed: int
+    schedules_run: int
+    failures: Tuple[FuzzOutcome, ...]
+    crashes_fired: int
+    operation_timeouts: int
+    operation_retries: int
+    outcomes: Tuple[FuzzOutcome, ...] = field(repr=False, default=())
+
+    @property
+    def converged(self) -> bool:
+        return not self.failures
+
+
+class CrashScheduleFuzzer:  # simlint: ignore[SIM003] — one per campaign, not per message
+    """Runs crash schedules against fresh, fully seeded simulators.
+
+    Parameters size the experiment each schedule runs: ``num_objects``
+    bulk-joined to build, ``churn_events`` sequential joins/leaves (two
+    joins for every leave, mirroring the churn harness rates), then up to
+    ``max_heal_cycles`` detect→repair cycles, each bounded by
+    ``max_detection_rounds`` heartbeat rounds and the repairer's
+    ``max_repair_rounds``.  ``min_population`` stops the trigger from
+    amputating an overlay too small to repair (the schedule records the
+    skip; the run still must converge fault-free).
+    """
+
+    def __init__(self, *, num_objects: int = 20, churn_events: int = 8,
+                 num_long_links: int = 1, min_population: int = 6,
+                 max_heal_cycles: int = 3, max_detection_rounds: int = 6,
+                 max_repair_rounds: int = 8,
+                 timeouts: Optional[TimeoutPolicy] = None) -> None:
+        if num_objects < 4:
+            raise ValueError(f"num_objects must be >= 4, got {num_objects}")
+        if min_population < 4:
+            raise ValueError(
+                f"min_population must be >= 4, got {min_population}")
+        if max_heal_cycles < 1:
+            raise ValueError(
+                f"max_heal_cycles must be >= 1, got {max_heal_cycles}")
+        self.num_objects = num_objects
+        self.churn_events = churn_events
+        self.num_long_links = num_long_links
+        self.min_population = min_population
+        self.max_heal_cycles = max_heal_cycles
+        self.max_detection_rounds = max_detection_rounds
+        self.max_repair_rounds = max_repair_rounds
+        self.timeouts = timeouts if timeouts is not None else TimeoutPolicy()
+
+    # ------------------------------------------------------------------
+    def baseline_messages(self, seed: int) -> int:
+        """Total messages of the fault-free run — the index range for sweeps."""
+        return self.run_schedule(
+            CrashSchedule(seed=seed, message_index=None)).messages
+
+    @staticmethod
+    def _fingerprint(simulator: ProtocolSimulator) -> str:
+        """Digest of the final overlay state, for byte-identical replays."""
+        digest = hashlib.sha256()
+        digest.update(f"{simulator.network.messages_sent}".encode())
+        digest.update(f"@{simulator.engine.now!r}".encode())
+        for object_id in sorted(simulator.nodes):
+            node = simulator.nodes[object_id]
+            links = ";".join(
+                f"{link.neighbor}@{link.target!r}" for link in node.long_links)
+            digest.update(
+                f"|{object_id}:{sorted(node.voronoi)}:{sorted(node.close)}"
+                f":{links}:{node.view_version}".encode())
+        return digest.hexdigest()
+
+    def run_schedule(self, schedule: CrashSchedule) -> FuzzOutcome:
+        """Run one schedule end to end; never raises — errors are reported."""
+        seed = schedule.seed
+        capacity = 4 * (self.num_objects + self.churn_events + 8)
+        config = VoroNetConfig(n_max=capacity,
+                               num_long_links=self.num_long_links, seed=seed)
+        faults = FaultPlane(seed=seed + 1)
+        simulator = ProtocolSimulator(config, seed=seed, faults=faults,
+                                      timeouts=self.timeouts)
+        injector = ProtocolCrashInjector(simulator, rng=RandomSource(seed + 2))
+        positions = generate_objects(UniformDistribution(), self.num_objects,
+                                     RandomSource(seed + 3))
+        churn_rng = RandomSource(seed + 4)
+
+        # The trigger fires synchronously inside Network.send, i.e. in the
+        # middle of whatever protocol loop sent the indexed message — the
+        # victim dies holding exactly the in-flight state that message
+        # represents.  `phase` is a cell so the trigger can record where
+        # in the run the axe fell.
+        phase: List[str] = ["build"]
+        crash_info: Dict[str, object] = {"victim": None, "phase": None}
+
+        def trigger(_message) -> None:
+            live = sorted(simulator.nodes)
+            if len(live) <= self.min_population:
+                return  # too small to amputate; run continues fault-free
+            victim = live[schedule.victim_rank % len(live)]
+            crash_info["victim"] = victim
+            crash_info["phase"] = phase[0]
+            injector.crash(victim)
+
+        if schedule.message_index is not None:
+            simulator.network.at_message(schedule.message_index, trigger)
+
+        converged = False
+        heal_cycles = 0
+        error: Optional[str] = None
+        verify_problems = -1
+        residual_stale = -1
+        pending: Tuple[Tuple[str, int], ...] = ()
+        try:
+            simulator.bulk_join(positions)
+
+            phase[0] = "churn"
+            for _ in range(self.churn_events):
+                if churn_rng.uniform() < 2.0 / 3.0:
+                    simulator.join(churn_rng.random_point())
+                else:
+                    live = sorted(simulator.nodes)
+                    if len(live) > self.min_population:
+                        simulator.leave(
+                            live[churn_rng.integer(0, len(live))])
+
+            phase[0] = "heal"
+            detector = HeartbeatDetector(simulator)
+            repairer = RepairProtocol(simulator, detector=detector,
+                                      max_rounds=self.max_repair_rounds)
+            dead = set(injector.crashed)
+
+            def all_damage_suspected() -> bool:
+                for object_id in sorted(simulator.nodes):
+                    node = simulator.nodes[object_id]
+                    for peer in sorted(node.monitored_peers()):
+                        if peer in dead and peer not in node.suspects:
+                            return False
+                return True
+
+            for _ in range(self.max_heal_cycles):
+                heal_cycles += 1
+                rounds = 0
+                while rounds < self.max_detection_rounds:
+                    detector.run_round()
+                    rounds += 1
+                    if (rounds >= detector.miss_threshold
+                            and all_damage_suspected()):
+                        break
+                repair = repairer.repair()
+                verify_problems = len(simulator.verify_views())
+                residual_stale = injector.assess_damage().total_stale_entries
+                pending = tuple(simulator.pending_operations())
+                if (repair.converged and verify_problems == 0
+                        and residual_stale == 0 and not pending
+                        and simulator.engine.quiescent):
+                    converged = True
+                    break
+        except Exception as exc:  # noqa: BLE001 — counterexamples must be reported, not raised
+            error = f"{type(exc).__name__}: {exc}"
+
+        return FuzzOutcome(
+            schedule=schedule,
+            converged=converged,
+            victim=crash_info["victim"],
+            crash_phase=crash_info["phase"],
+            messages=simulator.network.messages_sent,
+            virtual_time=simulator.engine.now,
+            verify_problems=verify_problems,
+            residual_stale=residual_stale,
+            pending_operations=pending,
+            heal_cycles=heal_cycles,
+            operation_timeouts=int(
+                simulator.metrics.counter("operation_timeouts")),
+            operation_retries=int(
+                simulator.metrics.counter("operation_retries")),
+            fingerprint=self._fingerprint(simulator),
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    def run_sweep(self, master_seed: int, schedules: int, *,
+                  stop_on_failure: bool = False) -> FuzzSweepReport:
+        """Derive and run ``schedules`` schedules from one master seed.
+
+        Per schedule the master stream draws a sub-seed, a victim rank and
+        a message index uniform over the sub-seed's fault-free message
+        count (measured once per sub-seed), so crashes land anywhere from
+        the first carve to the last churn hand-over.  Every draw comes
+        from the master stream in a fixed order — the whole sweep replays
+        from ``master_seed`` alone, and each failure from its own triple.
+        """
+        if schedules < 1:
+            raise ValueError(f"schedules must be >= 1, got {schedules}")
+        master = RandomSource(master_seed)
+        baselines: Dict[int, int] = {}
+        outcomes: List[FuzzOutcome] = []
+        for _ in range(schedules):
+            sub_seed = master.integer(0, 2**31 - 1)
+            rank = master.integer(0, 1 << 16)
+            if sub_seed not in baselines:
+                baselines[sub_seed] = max(1, self.baseline_messages(sub_seed))
+            index = master.integer(1, baselines[sub_seed] + 1)
+            outcomes.append(self.run_schedule(
+                CrashSchedule(seed=sub_seed, message_index=index,
+                              victim_rank=rank)))
+            if stop_on_failure and outcomes[-1].failed:
+                break
+        failures = tuple(o for o in outcomes if o.failed)
+        return FuzzSweepReport(
+            master_seed=master_seed,
+            schedules_run=len(outcomes),
+            failures=failures,
+            crashes_fired=sum(1 for o in outcomes if o.victim is not None),
+            operation_timeouts=sum(o.operation_timeouts for o in outcomes),
+            operation_retries=sum(o.operation_retries for o in outcomes),
+            outcomes=tuple(outcomes),
+        )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _parse_replay(text: str) -> CrashSchedule:
+    """Parse a ``SEED:INDEX:RANK`` replay triple (INDEX may be ``none``)."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected SEED:INDEX:RANK, got {text!r}")
+    seed, index_text, rank = parts
+    index = None if index_text.lower() == "none" else int(index_text)
+    return CrashSchedule(seed=int(seed), message_index=index,
+                         victim_rank=int(rank))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``python -m repro.simulation.fuzz``; returns exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.simulation.fuzz",
+        description="Seeded crash-at-any-message schedule sweeps.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed of the sweep (default 0)")
+    parser.add_argument("--schedules", type=int, default=50,
+                        help="number of schedules to derive (default 50)")
+    parser.add_argument("--replay", type=_parse_replay, action="append",
+                        metavar="SEED:INDEX:RANK", default=[],
+                        help="replay one failing triple instead of sweeping "
+                             "(repeatable; INDEX 'none' runs fault-free)")
+    parser.add_argument("--objects", type=int, default=20,
+                        help="overlay size each schedule builds (default 20)")
+    parser.add_argument("--churn", type=int, default=8,
+                        help="churn events per schedule (default 8)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="write failing triples as JSON to this path")
+    args = parser.parse_args(argv)
+
+    fuzzer = CrashScheduleFuzzer(num_objects=args.objects,
+                                 churn_events=args.churn)
+    if args.replay:
+        failures = []
+        for schedule in args.replay:
+            outcome = fuzzer.run_schedule(schedule)
+            status = "FAIL" if outcome.failed else "ok"
+            print(f"{status} seed={schedule.seed} "
+                  f"index={schedule.message_index} "
+                  f"rank={schedule.victim_rank} victim={outcome.victim} "
+                  f"phase={outcome.crash_phase} "
+                  f"fingerprint={outcome.fingerprint[:16]}"
+                  + (f" error={outcome.error}" if outcome.error else ""))
+            if outcome.failed:
+                failures.append(outcome)
+    else:
+        report = fuzzer.run_sweep(args.seed, args.schedules)
+        failures = list(report.failures)
+        print(f"{report.schedules_run} schedules from master seed "
+              f"{args.seed}: {report.crashes_fired} crashes fired, "
+              f"{report.operation_timeouts} operation timeouts, "
+              f"{report.operation_retries} retries, "
+              f"{len(failures)} failures")
+        for outcome in failures:
+            triple = outcome.schedule.as_triple()
+            print(f"FAIL {triple[0]}:{triple[1]}:{triple[2]} "
+                  f"victim={outcome.victim} phase={outcome.crash_phase}"
+                  + (f" error={outcome.error}" if outcome.error else ""))
+
+    if args.output and failures:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump([outcome.as_dict() for outcome in failures],
+                      handle, indent=2)
+        print(f"failing triples written to {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -187,7 +187,8 @@ class Network:
 
     __slots__ = ("_engine", "_latency", "_fixed_latency", "_handlers",
                  "_replaced_handlers", "faults", "messages_sent",
-                 "messages_dropped", "messages_lost", "sent_by_kind")
+                 "messages_dropped", "messages_lost", "sent_by_kind",
+                 "_send_triggers")
 
     def __init__(self, engine: SimulationEngine,
                  latency: Optional[LatencyModel] = None,
@@ -213,6 +214,9 @@ class Network:
         self.messages_dropped = 0
         self.messages_lost = 0
         self.sent_by_kind: Counter = Counter()
+        #: Message-index triggers (see :meth:`at_message`); empty in every
+        #: ordinary run, so the hot path pays one falsy check.
+        self._send_triggers: Dict[int, list] = {}
 
     @property
     def latency(self) -> LatencyModel:
@@ -270,6 +274,23 @@ class Network:
         """Whether the node currently has a handler."""
         return node_id in self._handlers
 
+    def at_message(self, index: int, action: Callable[[Message], None]) -> None:
+        """Run ``action(message)`` when the ``index``-th counted send occurs.
+
+        ``index`` is 1-based and counts exactly what :attr:`messages_sent`
+        counts (local self hand-offs are free and never trigger).  The
+        action fires *after* the message is counted but *before* the fault
+        plane decides its fate — so a trigger that crashes a node makes the
+        indexed message itself the first one the crash can drop.  That
+        ordering is what gives the fuzzing harness its replay contract: a
+        crash schedule is fully described by ``(seed, message_index,
+        victim)``.  Triggers are one-shot; several may share an index and
+        run in registration order.
+        """
+        if index < 1:
+            raise ValueError(f"message index is 1-based, got {index}")
+        self._send_triggers.setdefault(index, []).append(action)
+
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
         """Send a message; it is delivered after the model's latency.
@@ -291,6 +312,11 @@ class Network:
             return
         self.messages_sent += 1
         self.sent_by_kind[message.kind] += 1
+        if self._send_triggers:
+            actions = self._send_triggers.pop(self.messages_sent, None)
+            if actions is not None:
+                for trigger in actions:
+                    trigger(message)
         extra_delay = 0.0
         faults = self.faults
         if faults is not None:

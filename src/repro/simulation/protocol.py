@@ -72,7 +72,7 @@ from repro.core.long_range import choose_long_range_target, choose_long_range_ta
 from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError, morton_order
 from repro.geometry.locate_grid import LocateGrid
 from repro.geometry.point import Point, distance
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SimulationEngine, Watchdog
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.network import ConstantLatency, LatencyModel, Message, Network
 from repro.simulation.trace import TraceRecorder
@@ -82,7 +82,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.simulation.faults import FaultPlane
 
 __all__ = ["ProtocolSimulator", "ProtocolNode", "JoinReport", "LeaveReport",
-           "QueryReport", "BulkJoinReport"]
+           "QueryReport", "BulkJoinReport", "TimeoutPolicy"]
 
 #: Default number of ``ADD_OBJECT`` sends pipelined between engine drains in
 #: :meth:`ProtocolSimulator.bulk_join`.  View snapshots are deferred to the
@@ -100,12 +100,22 @@ DEFAULT_BULK_CHUNK = 128
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class JoinReport:
-    """Cost of one distributed join."""
+    """Cost of one distributed join.
+
+    ``outcome`` is ``"completed"`` on the happy path, ``"timed_out"`` when
+    the operation's watchdog exhausted its retries (e.g. the only node
+    holding the pending join's starter state crashed mid-conversation) and
+    ``"rejected"`` when the position duplicated a published object.  A
+    non-completed join never hangs the caller: the engine drains, the
+    report states what happened, and the repair protocol's audits own any
+    residual cleanup.
+    """
 
     object_id: int
     routing_hops: int
     messages: int
     virtual_time: float
+    outcome: str = "completed"
 
 
 @dataclass(frozen=True)
@@ -117,21 +127,32 @@ class BulkJoinReport:
     the same counts are recorded in the simulator's trace as
     ``bulk_join_phase`` records and aggregated into the
     ``bulk_join_messages`` histogram.
+
+    ``timed_out`` lists batch members that never made it into the overlay
+    (they crashed mid-batch, or their carve could not be re-driven within
+    the audit budget); empty in every fault-free run.
     """
 
     object_ids: List[int]
     messages: int
     phase_messages: Dict[str, int]
     virtual_time: float
+    timed_out: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
 class LeaveReport:
-    """Cost of one distributed (graceful) departure."""
+    """Cost of one distributed (graceful) departure.
+
+    ``outcome`` is ``"timed_out"`` when the leaver crashed while its own
+    hand-over was still draining — the survivors saw an abrupt crash, not
+    a graceful departure, and the detect/repair pipeline owns the cleanup.
+    """
 
     object_id: int
     messages: int
     virtual_time: float
+    outcome: str = "completed"
 
 
 @dataclass(frozen=True)
@@ -142,6 +163,39 @@ class QueryReport:
     owner: int
     routing_hops: int
     messages: int
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """Per-operation timeout/retry/backoff parameters.
+
+    The timeouts are *quiet windows*, not operation budgets: each tracked
+    operation runs a progress-aware :class:`~repro.simulation.engine.Watchdog`
+    that is poked on every forwarding hop and partial reply, so a long but
+    healthy routed walk never expires — only a genuinely wedged operation
+    (its in-flight message fed to a crash, loss or partition) does.  On
+    expiry the operation's retry hook re-issues its idempotent,
+    version-stamped messages and the window is stretched by ``backoff``;
+    after ``max_retries`` expiries the operation is abandoned and surfaced
+    as a ``timed_out`` outcome.  ``enabled=False`` restores the pre-hardening
+    behaviour (no watchdogs are ever armed).
+    """
+
+    join_timeout: float = 12.0
+    close_timeout: float = 12.0
+    long_link_timeout: float = 12.0
+    max_retries: int = 3
+    backoff: float = 2.0
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("join_timeout", "close_timeout", "long_link_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
 
 
 # ----------------------------------------------------------------------
@@ -173,8 +227,23 @@ class ProtocolNode:
     close: Dict[int, Point] = field(default_factory=dict)
     long_links: List[_LocalLongLink] = field(default_factory=list)
     back_links: Dict[Tuple[int, int], Point] = field(default_factory=dict)
-    pending_close_replies: int = 0
-    pending_long_links: int = 0
+    #: Voronoi neighbours whose ``CLOSE_REPLY`` is still awaited, and
+    #: whether the close phase already completed.  Set-based (not a bare
+    #: counter) so duplicate and late replies are idempotent: a reply from
+    #: a peer not in the set changes nothing, and the long-link phase can
+    #: never be double-started by a retried request's second answer.
+    pending_close_peers: Set[int] = field(default_factory=set)
+    close_phase_done: bool = False
+    #: Long-link slots whose ``LONG_LINK_ESTABLISHED`` is still awaited.
+    #: First establishment wins; a late duplicate (a retried search whose
+    #: original answer survived after all) is told to drop its redundant
+    #: back registration instead of overwriting the link.
+    pending_link_indices: Set[int] = field(default_factory=set)
+    #: Whether this node already applied its first ``CREATE_OBJECT`` view
+    #: snapshot.  A duplicate (retried carve re-sending the snapshot)
+    #: refreshes the view but must not restart close discovery or append
+    #: another batch of long links.
+    bootstrapped: bool = False
     view_epoch: int = 0
     view_version: int = -1
     #: Failure-detection bookkeeping (driven by the fault subsystem,
@@ -372,6 +441,7 @@ class ProtocolNode:
     def _on_add_object(self, message: Message) -> None:
         payload = message.payload
         target: Point = payload["position"]
+        self.simulator.operation_progress(("join", payload["new_id"]))
         next_hop = self.greedy_next_hop(target)
         if next_hop is not None:
             self.simulator.forward(self, next_hop, message)
@@ -390,14 +460,25 @@ class ProtocolNode:
             self.voronoi = dict(payload["voronoi"])
             self.view_version = version
             self.touch_view()
+        if self.bootstrapped:
+            # Duplicate snapshot from a retried carve: the fresher view was
+            # applied above (or rejected by the version stamp); the phases
+            # below already ran and must not run twice.
+            return
+        self.bootstrapped = True
         if payload.get("bulk"):
             # bulk_join drives close discovery and long links as its own
             # pipelined phases; the view snapshot is all this message carries.
             return
+        self.simulator.finish_operation(("join", self.object_id))
         # Close-neighbour discovery (Lemma 1): ask every Voronoi neighbour.
         if self.simulator.config.maintain_close_neighbors and self.voronoi:
-            self.pending_close_replies = len(self.voronoi)
-            for neighbor in list(self.voronoi):
+            self.pending_close_peers = set(self.voronoi)
+            self.simulator.start_operation(
+                ("close", self.object_id),
+                self.simulator.timeouts.close_timeout,
+                retry=self._retry_close_phase, fail=self._abandon_close_phase)
+            for neighbor in sorted(self.voronoi):
                 self.simulator.send(self, neighbor, "CLOSE_REQUEST",
                                     {"position": self.position})
         else:
@@ -418,16 +499,56 @@ class ProtocolNode:
 
     def _on_close_reply(self, message: Message) -> None:
         d_min = self.simulator.config.effective_d_min
-        for oid, pos in message.payload["candidates"].items():
+        for oid, pos in sorted(message.payload["candidates"].items()):
             if oid != self.object_id and distance(pos, self.position) <= d_min:
                 self.close[oid] = pos
         self.touch_view()
-        self.pending_close_replies -= 1
-        if self.pending_close_replies == 0:
-            for neighbor in list(self.close):
-                self.simulator.send(self, neighbor, "CLOSE_DECLARE",
-                                    {"position": self.position})
-            self._start_long_link_phase()
+        if message.sender in self.pending_close_peers:
+            self.pending_close_peers.discard(message.sender)
+            self.simulator.operation_progress(("close", self.object_id))
+            if not self.pending_close_peers:
+                self._finish_close_phase()
+
+    def _finish_close_phase(self) -> None:
+        """Declare close membership and move on to long links — once."""
+        if self.close_phase_done:
+            return
+        self.close_phase_done = True
+        self.simulator.finish_operation(("close", self.object_id))
+        for neighbor in sorted(self.close):
+            self.simulator.send(self, neighbor, "CLOSE_DECLARE",
+                                {"position": self.position})
+        self._start_long_link_phase()
+
+    def _retry_close_phase(self) -> bool:
+        """Watchdog retry: drop dead peers, re-request the live stragglers.
+
+        Peers that left or crashed can never answer, so waiting on them is
+        the wedge this retry clears; the re-sent ``CLOSE_REQUEST`` is
+        idempotent (the reply handler merges candidates and discards the
+        peer from the pending set at most once).
+        """
+        dead = [peer for peer in sorted(self.pending_close_peers)
+                if peer not in self.simulator.nodes]
+        for peer in dead:
+            self.pending_close_peers.discard(peer)
+        if not self.pending_close_peers:
+            self._finish_close_phase()
+            return True
+        for peer in sorted(self.pending_close_peers):
+            self.simulator.send(self, peer, "CLOSE_REQUEST",
+                                {"position": self.position})
+        return True
+
+    def _abandon_close_phase(self) -> None:
+        """Retries exhausted: proceed degraded rather than wedge the join.
+
+        The close set misses whatever the silent peers would have
+        contributed; the repair protocol's grid-seeded close re-discovery
+        is the standing mechanism that restores such entries.
+        """
+        self.pending_close_peers.clear()
+        self._finish_close_phase()
 
     def _on_close_declare(self, message: Message) -> None:
         self.close[message.sender] = message.payload["position"]
@@ -443,9 +564,14 @@ class ProtocolNode:
         if count == 0:
             self.simulator.operation_finished(self.object_id)
             return
-        self.pending_long_links = count
+        base = len(self.long_links)
+        self.pending_link_indices = set(range(base, base + count))
+        self.simulator.start_operation(
+            ("long_links", self.object_id),
+            self.simulator.timeouts.long_link_timeout,
+            retry=self._retry_long_links, fail=self._abandon_long_links)
         d_min = self.simulator.config.effective_d_min
-        for index in range(count):
+        for index in range(base, base + count):
             target = choose_long_range_target(self.position, d_min,
                                               self.simulator.rng)
             self.long_links.append(_LocalLongLink(target=target,
@@ -456,9 +582,35 @@ class ProtocolNode:
                                  "link_index": index, "hops": 0})
         self.touch_view()
 
+    def _retry_long_links(self) -> bool:
+        """Watchdog retry: re-run the routed search for unresolved slots.
+
+        Grid-seeded next to the target (the repair protocol's escalation
+        idiom), so a retry needs O(1) deliveries even when the original
+        walk fed the fault plane hop by hop.  ``reissue_long_link`` keeps
+        the pending set consistent, and first-established-wins makes a
+        racing duplicate answer harmless.
+        """
+        if not self.pending_link_indices:
+            return False
+        for index in sorted(self.pending_link_indices):
+            seed = self.simulator.locate.hint(self.long_links[index].target)
+            self.reissue_long_link(index, seed=seed)
+        return True
+
+    def _abandon_long_links(self) -> None:
+        """Retries exhausted: surface the join as timed out.
+
+        The unresolved slots keep their self-loop placeholder (never a
+        dangling id); the repair protocol's long-link audit re-resolves
+        them whenever it next runs.
+        """
+        self.simulator._join_outcomes[self.object_id] = "timed_out"
+
     def _on_search_long_link(self, message: Message) -> None:
         payload = message.payload
         target: Point = payload["target"]
+        self.simulator.operation_progress(("long_links", payload["requester"]))
         next_hop = self.greedy_next_hop(target)
         if next_hop is not None:
             self.simulator.forward(self, next_hop, message)
@@ -475,13 +627,30 @@ class ProtocolNode:
 
     def _on_long_link_established(self, message: Message) -> None:
         payload = message.payload
-        link = self.long_links[payload["link_index"]]
+        index = payload["link_index"]
+        if index >= len(self.long_links):
+            return
+        if index not in self.pending_link_indices:
+            # Late duplicate: a retried search's original answer landed
+            # after all.  First establishment won; tell the late owner to
+            # drop the registration it just created for us (unless it *is*
+            # the established endpoint, whose registration must stand).
+            link = self.long_links[index]
+            if (payload["neighbor"] != link.neighbor
+                    and payload["neighbor"] in self.simulator.nodes):
+                self.simulator.send(self, payload["neighbor"], "BACKLINK_REMOVE",
+                                    {"source": self.object_id,
+                                     "link_index": index})
+            return
+        link = self.long_links[index]
         link.neighbor = payload["neighbor"]
         link.neighbor_position = payload["neighbor_position"]
         self.touch_view()
         self.simulator.metrics.observe("long_link_hops", payload["hops"])
-        self.pending_long_links -= 1
-        if self.pending_long_links == 0:
+        self.pending_link_indices.discard(index)
+        self.simulator.operation_progress(("long_links", self.object_id))
+        if not self.pending_link_indices:
+            self.simulator.finish_operation(("long_links", self.object_id))
             self.simulator.operation_finished(self.object_id)
 
     # ---------------- maintenance updates ------------------------------
@@ -651,11 +820,14 @@ class ProtocolNode:
         """
         link = self.long_links[index]
         if (link.neighbor != self.object_id
-                and link.neighbor not in self.suspects):
+                and link.neighbor not in self.suspects
+                and link.neighbor in self.simulator.nodes):
             self.simulator.send(self, link.neighbor, "BACKLINK_REMOVE",
                                 {"source": self.object_id, "link_index": index})
-        self.pending_long_links += 1
+        self.pending_link_indices.add(index)
         start = seed if seed is not None else self.object_id
+        if start not in self.simulator.nodes:
+            start = self.object_id
         self.simulator.send(self, start, "SEARCH_LONG_LINK",
                             {"target": link.target, "requester": self.object_id,
                              "link_index": index, "hops": 0})
@@ -679,6 +851,22 @@ class ProtocolNode:
 # ----------------------------------------------------------------------
 # the simulator
 # ----------------------------------------------------------------------
+class _PendingOperation:
+    """Bookkeeping of one watchdog-tracked multi-message operation."""
+
+    __slots__ = ("key", "watchdog", "attempts", "timeout", "retry", "fail")
+
+    def __init__(self, key: Tuple[str, int], timeout: float,
+                 retry: Callable[[], bool],
+                 fail: Optional[Callable[[], None]]) -> None:
+        self.key = key
+        self.watchdog: Optional[Watchdog] = None
+        self.attempts = 0
+        self.timeout = timeout
+        self.retry = retry
+        self.fail = fail
+
+
 class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not per message
     """Drives the message-level VoroNet protocol over the event engine.
 
@@ -708,7 +896,8 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
                  latency: Optional[LatencyModel] = None,
                  seed: Optional[int] = None,
                  trace: Optional[TraceRecorder] = None,
-                 faults: Optional["FaultPlane"] = None) -> None:
+                 faults: Optional["FaultPlane"] = None,
+                 timeouts: Optional[TimeoutPolicy] = None) -> None:
         self.config = config if config is not None else VoroNetConfig()
         self.engine = SimulationEngine()
         self.network = Network(self.engine, latency or ConstantLatency(1.0),
@@ -735,6 +924,12 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         self._last_routing_hops = 0
         self._last_query_answer: Optional[Dict] = None
         self._bulk_owners: Dict[int, int] = {}
+        #: Per-operation timeout/retry policy (see :class:`TimeoutPolicy`).
+        self.timeouts = timeouts if timeouts is not None else TimeoutPolicy()
+        self._pending_ops: Dict[Tuple[str, int], _PendingOperation] = {}
+        #: Non-completed outcome recorded for a join in flight (read and
+        #: cleared by :meth:`join` when building its report).
+        self._join_outcomes: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # plumbing used by nodes
@@ -763,6 +958,79 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
     def operation_finished(self, object_id: int) -> None:
         """Callback from nodes when their multi-message operation completes."""
         self.trace.record(self.engine.now, "operation_finished", object_id=object_id)
+
+    # ------------------------------------------------------------------
+    # operation timeout/retry tracking
+    # ------------------------------------------------------------------
+    def start_operation(self, key: Tuple[str, int], timeout: float,
+                        retry: Callable[[], bool],
+                        fail: Optional[Callable[[], None]] = None) -> None:
+        """Arm a progress-aware watchdog over one multi-message operation.
+
+        ``key`` is ``(operation_name, object_id)``.  While the operation
+        makes progress (:meth:`operation_progress` is called from its
+        message handlers) the watchdog never fires; after a full quiet
+        window it does, ``retry()`` is invoked to re-issue the operation's
+        idempotent messages (returning ``False`` declines — e.g. the
+        subject crashed), and the window is stretched by the policy's
+        backoff.  After ``max_retries`` expiries — or a declined retry —
+        the operation is abandoned and ``fail()`` (if any) runs.  Tracking
+        is idempotent per key; with timeouts disabled this is a no-op.
+        """
+        if not self.timeouts.enabled or key in self._pending_ops:
+            return
+        op = _PendingOperation(key, timeout, retry, fail)
+        self._pending_ops[key] = op
+        op.watchdog = Watchdog(self.engine, timeout,
+                               lambda: self._operation_expired(key),
+                               label=f"timeout:{key[0]}:{key[1]}")
+
+    def operation_progress(self, key: Tuple[str, int]) -> None:
+        """Record progress on a tracked operation (no-op when untracked)."""
+        op = self._pending_ops.get(key)
+        if op is not None:
+            op.watchdog.poke()
+
+    def finish_operation(self, key: Tuple[str, int]) -> None:
+        """Complete a tracked operation: disarm and forget its watchdog."""
+        op = self._pending_ops.pop(key, None)
+        if op is not None:
+            op.watchdog.cancel()
+
+    def pending_operations(self) -> List[Tuple[str, int]]:
+        """Keys of operations still under watchdog tracking, sorted.
+
+        Empty at quiescence in every healthy run; the fuzzing harness
+        asserts exactly that (a non-empty result at quiescence means an
+        operation leaked its tracking entry).
+        """
+        return sorted(self._pending_ops)
+
+    def _operation_expired(self, key: Tuple[str, int]) -> None:
+        op = self._pending_ops.get(key)
+        if op is None:  # completed between fire and dispatch; nothing to do
+            return
+        op.attempts += 1
+        self.metrics.increment("operation_timeouts")
+        self.trace.record(self.engine.now, "operation_timeout",
+                          operation=key[0], object_id=key[1],
+                          attempt=op.attempts)
+        if op.attempts <= self.timeouts.max_retries and op.retry():
+            self.metrics.increment("operation_retries")
+            if key in self._pending_ops:
+                # The retry may itself have finished the operation (e.g.
+                # every awaited peer turned out dead); only a still-pending
+                # one re-arms, with backoff.
+                op.timeout *= self.timeouts.backoff
+                op.watchdog.rearm(op.timeout)
+            return
+        self._pending_ops.pop(key, None)
+        op.watchdog.cancel()
+        self.metrics.increment("operation_failures")
+        self.trace.record(self.engine.now, "operation_failed",
+                          operation=key[0], object_id=key[1])
+        if op.fail is not None:
+            op.fail()
 
     def record_query_answer(self, payload: Dict) -> None:
         self._last_query_answer = payload
@@ -808,6 +1076,10 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
             candidates = [oid for oid in self.nodes if oid != object_id]
             introducer = candidates[self.rng.integer(0, len(candidates))]
         self._last_routing_hops = 0
+        self._join_outcomes.pop(object_id, None)
+        self.start_operation(("join", object_id), self.timeouts.join_timeout,
+                             retry=lambda: self._retry_join(object_id, position),
+                             fail=lambda: self._fail_join(object_id))
         starter = self.nodes[introducer]
         self.send(starter, introducer, "ADD_OBJECT",
                   {"new_id": object_id, "position": position, "hops": 0})
@@ -816,9 +1088,89 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         messages = self.network.messages_sent - before
         self.metrics.observe("join_messages", messages)
         self.metrics.observe("join_routing_hops", self._last_routing_hops)
+        outcome = self._join_outcomes.pop(object_id, "completed")
         return JoinReport(object_id=object_id,
                           routing_hops=self._last_routing_hops,
-                          messages=messages, virtual_time=self.engine.now)
+                          messages=messages, virtual_time=self.engine.now,
+                          outcome=outcome)
+
+    def _retry_join(self, object_id: int, position: Point) -> bool:
+        """Watchdog retry: re-route the ``ADD_OBJECT`` from a fresh starter.
+
+        The carve is idempotent — ``complete_insertion`` detects an
+        already-carved region and merely re-sends the version-stamped view
+        snapshot — so re-walking the whole request is safe whether the
+        original died before, during or after the kernel insertion.  The
+        locate-grid hint lands the retry next to the region (or on the
+        joiner itself once carved, degenerating to a free local hand-off).
+        """
+        if object_id not in self.nodes:
+            return False  # the joiner itself crashed; nothing to finish
+        introducer = self.locate.hint(position)
+        if introducer is None or introducer not in self.nodes:
+            live = sorted(oid for oid in self.nodes if oid != object_id)
+            if not live:
+                return False
+            introducer = live[0]
+        starter = self.nodes[introducer]
+        self.send(starter, introducer, "ADD_OBJECT",
+                  {"new_id": object_id, "position": position, "hops": 0})
+        return True
+
+    def _fail_join(self, object_id: int) -> None:
+        """Retries exhausted: abort the join and surface ``timed_out``.
+
+        A joiner whose region was never carved is torn back down (no
+        zombie handler, no stray view); one that *was* carved stays — it
+        is a live member whose bootstrap snapshot the repair protocol's
+        view audit re-delivers.
+        """
+        self._join_outcomes[object_id] = "timed_out"
+        node = self.nodes.get(object_id)
+        if node is not None and self.kernel.vertex_at(node.position) != object_id:
+            self.network.unregister(object_id)
+            del self.nodes[object_id]
+
+    def _send_bulk_carve(self, object_id: int, position: Point) -> None:
+        """Send (or re-send) one bulk carve request for ``object_id``.
+
+        Used by both the phase-1 chunk pipeline and its audit rounds: the
+        carve is idempotent (see :meth:`complete_insertion`), so a re-send
+        for a request whose original survived merely re-delivers the
+        version-stamped snapshot.  If every other node is dead the carve
+        degenerates to the bootstrap direct insertion — there is nobody
+        left to route through, but the joiner itself is still live.
+        """
+        introducer = self.locate.hint(position)
+        if introducer is None or introducer not in self.nodes:
+            live = sorted(oid for oid in self.nodes if oid != object_id)
+            if not live:
+                self.kernel.insert(position, vertex_id=object_id)
+                self.locate.insert(object_id, position)
+                self._bulk_owners[object_id] = object_id
+                return
+            introducer = live[0]
+        starter = self.nodes[introducer]
+        self.send(starter, introducer, "ADD_OBJECT",
+                  {"new_id": object_id, "position": position, "hops": 0,
+                   "bulk": True})
+
+    def _bulk_snapshot_sender(self, recipient: int) -> int:
+        """Pick the live node that sends ``recipient`` its phase-2 snapshot.
+
+        Prefers the owner that carved the recipient's region (matching the
+        fault-free accounting exactly); falls back to the first live kernel
+        neighbour when the owner has crashed, and to the recipient itself
+        when it is isolated (a self-send still counts one message, keeping
+        re-drive rounds honest).
+        """
+        owner = self._bulk_owners.get(recipient)
+        if owner is not None and owner in self.nodes:
+            return owner
+        for neighbor_id in sorted(self.kernel.neighbors(recipient)):
+            if neighbor_id != recipient and neighbor_id in self.nodes:
+                return neighbor_id
+        return recipient
 
     def bulk_join(self, positions: Sequence[Point], *,
                   chunk_size: Optional[int] = None) -> BulkJoinReport:
@@ -912,12 +1264,38 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
             for index in order[chunk_start:chunk_start + chunk_size]:
                 object_id, position = ids[index], batch[index]
                 self._attach_node(object_id, position)
-                introducer = self.locate.hint(position)
-                starter = self.nodes[introducer]
-                self.send(starter, introducer, "ADD_OBJECT",
-                          {"new_id": object_id, "position": position,
-                           "hops": 0, "bulk": True})
+                self._send_bulk_carve(object_id, position)
             self.engine.run_until_quiescent()
+        # Carve audit: a victim crashing mid-chunk can swallow ADD_OBJECT
+        # walks wholesale (a crashed carrier drops everything it holds), so
+        # re-drive uncarved survivors for a bounded number of rounds.  In a
+        # fault-free run every batch member carved on the first pass and
+        # the audit costs nothing.
+        for _ in range(self.timeouts.max_retries):
+            stalled = [i for i in range(len(ids))
+                       if ids[i] in self.nodes
+                       and self.kernel.vertex_at(batch[i]) != ids[i]]
+            if not stalled:
+                break
+            for i in stalled:
+                self._send_bulk_carve(ids[i], batch[i])
+            self.engine.run_until_quiescent()
+        timed_out = [oid for i, oid in enumerate(ids)
+                     if oid not in self.nodes
+                     or self.kernel.vertex_at(batch[i]) != oid]
+        if timed_out:
+            dead = set(timed_out)
+            for object_id in sorted(dead):
+                # Crashed mid-batch, or uncarvable within the budget:
+                # withdraw the attachment so no zombie handler (and no
+                # stray kernel vertex) outlives the batch.
+                if object_id in self.nodes:
+                    self.network.unregister(object_id)
+                    del self.nodes[object_id]
+            survivors = [(oid, batch[i]) for i, oid in enumerate(ids)
+                         if oid not in dead]
+            ids = [oid for oid, _position in survivors]
+            batch = [position for _oid, position in survivors]
         phase_messages["carve"] = self.network.messages_sent - snapshot
 
         # ---- phase 2: consolidated view distribution --------------------
@@ -925,26 +1303,41 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         # touches it; the batch attach sends each recipient its *final*
         # view exactly once.  New objects hear from the owner that carved
         # their region; pre-existing objects bordering the batch hear from
-        # one of their new neighbours.
+        # a live kernel neighbour.  The phase is driven as stale-view
+        # rounds: everyone owed a snapshot is sent one, and recipients
+        # whose ``view_version`` still lags (their snapshot — or its
+        # sender — fed a crash) are re-sent in bounded re-drive rounds.
+        # Version stamps make re-sends idempotent; a fault-free run takes
+        # exactly one round with exactly the original message count.
         snapshot = self.network.messages_sent
-        version = self.kernel.version
         new_ids = set(ids)
-        affected: Dict[int, int] = {}
+        recipients: Set[int] = set(ids)
         for object_id in ids:
-            neighbors = self.kernel.neighbors(object_id)
-            owner = self._bulk_owners.get(object_id, object_id)
-            view = {nid: self.kernel.point(nid) for nid in neighbors}
-            self.send(self.nodes[owner], object_id, "CREATE_OBJECT",
-                      {"voronoi": view, "version": version, "bulk": True})
-            for neighbor_id in neighbors:
+            for neighbor_id in self.kernel.neighbors(object_id):
                 if neighbor_id not in new_ids and neighbor_id in self.nodes:
-                    affected[neighbor_id] = object_id
-        for neighbor_id, sender_id in affected.items():
-            view = {nid: self.kernel.point(nid)
-                    for nid in self.kernel.neighbors(neighbor_id)}
-            self.send(self.nodes[sender_id], neighbor_id, "REGION_UPDATE",
-                      {"voronoi": view, "version": version})
-        self.engine.run_until_quiescent()
+                    recipients.add(neighbor_id)
+        for _ in range(1 + self.timeouts.max_retries):
+            version = self.kernel.version
+            stale = [
+                object_id for object_id in sorted(recipients)
+                if object_id in self.nodes
+                and self.nodes[object_id].view_version < version]
+            if not stale:
+                break
+            for object_id in stale:
+                if object_id not in self.nodes:
+                    continue  # crashed while this round was being sent
+                sender_id = self._bulk_snapshot_sender(object_id)
+                view = {nid: self.kernel.point(nid)
+                        for nid in self.kernel.neighbors(object_id)}
+                if object_id in new_ids:
+                    self.send(self.nodes[sender_id], object_id, "CREATE_OBJECT",
+                              {"voronoi": view, "version": version,
+                               "bulk": True})
+                else:
+                    self.send(self.nodes[sender_id], object_id, "REGION_UPDATE",
+                              {"voronoi": view, "version": version})
+            self.engine.run_until_quiescent()
         phase_messages["views"] = self.network.messages_sent - snapshot
 
         # ---- phase 3: back-registration hand-over ----------------------
@@ -958,21 +1351,27 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         # always has registrations to settle.
         if had_existing:
             snapshot = self.network.messages_sent
-            for holder_id, holder in self.nodes.items():
+            for holder_id, holder in list(self.nodes.items()):
                 if holder_id in new_ids or not holder.back_links:
                     continue
                 for (source, link_index), target in list(holder.back_links.items()):
+                    if holder_id not in self.nodes:
+                        break  # the holder crashed while handing over
                     owner = self.kernel.nearest_vertex(target, hint=holder_id)
-                    if owner == holder_id:
+                    if owner == holder_id or owner not in self.nodes:
                         continue
+                    # Captured before the sends: a fault-plane trigger may
+                    # crash the new owner while the first is being counted.
+                    owner_position = self.nodes[owner].position
                     holder.back_links.pop((source, link_index))
                     holder.touch_view()
                     self.send(holder, owner, "BACKLINK_TRANSFER",
                               {"source": source, "link_index": link_index,
                                "target": target})
-                    self.send(holder, source, "LONG_LINK_RETARGET",
-                              {"link_index": link_index, "neighbor": owner,
-                               "neighbor_position": self.nodes[owner].position})
+                    if source in self.nodes:
+                        self.send(holder, source, "LONG_LINK_RETARGET",
+                                  {"link_index": link_index, "neighbor": owner,
+                                   "neighbor_position": owner_position})
             self.engine.run_until_quiescent()
             phase_messages["handover"] = self.network.messages_sent - snapshot
 
@@ -981,12 +1380,17 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
             snapshot = self.network.messages_sent
             d_min = self.config.effective_d_min
             for object_id in ids:
-                node = self.nodes[object_id]
+                node = self.nodes.get(object_id)
+                if node is None:
+                    continue  # crashed while the phase was being sent
                 found = False
                 for close_id in self.locate.within(node.position, d_min):
                     if close_id == object_id:
                         continue
-                    node.close[close_id] = self.nodes[close_id].position
+                    peer = self.nodes.get(close_id)
+                    if peer is None:
+                        continue  # crashed since the radius query ran
+                    node.close[close_id] = peer.position
                     found = True
                     self.send(node, close_id, "CLOSE_DECLARE",
                               {"position": node.position})
@@ -997,15 +1401,17 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
 
         # ---- phase 5: long links ---------------------------------------
         k = self.config.num_long_links
-        if k > 0:
+        if k > 0 and ids:
             snapshot = self.network.messages_sent
             targets = choose_long_range_target_array(
                 np.asarray(batch, dtype=np.float64),
                 self.config.effective_d_min, k, self.rng)
             flat = targets.reshape(-1, 2)
             for i, object_id in enumerate(ids):
-                node = self.nodes[object_id]
-                node.pending_long_links = k
+                node = self.nodes.get(object_id)
+                if node is None:
+                    continue  # crashed while the phase was being sent
+                node.pending_link_indices = set(range(k))
                 for index in range(k):
                     target = (float(flat[i * k + index][0]),
                               float(flat[i * k + index][1]))
@@ -1013,34 +1419,84 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
                         target=target, neighbor=object_id,
                         neighbor_position=node.position))
                     seed = self.locate.hint(target)
+                    if seed is None or seed not in self.nodes:
+                        seed = object_id
                     self.send(node, seed, "SEARCH_LONG_LINK",
                               {"target": target, "requester": object_id,
                                "link_index": index, "hops": 0})
                 node.touch_view()
             self.engine.run_until_quiescent()
+            # Search audit: a crashed carrier or endpoint swallowed a walk;
+            # re-drive the unresolved slots, grid-seeded, bounded like the
+            # carve audit.  Free in fault-free runs (nothing is pending).
+            for _ in range(self.timeouts.max_retries):
+                unresolved = [
+                    object_id for object_id in ids
+                    if object_id in self.nodes
+                    and self.nodes[object_id].pending_link_indices]
+                if not unresolved:
+                    break
+                for object_id in unresolved:
+                    node = self.nodes.get(object_id)
+                    if node is None:
+                        continue
+                    for index in sorted(node.pending_link_indices):
+                        seed = self.locate.hint(node.long_links[index].target)
+                        node.reissue_long_link(index, seed=seed)
+                self.engine.run_until_quiescent()
             phase_messages["long_links"] = self.network.messages_sent - snapshot
 
         self.metrics.increment("joins", len(ids))
         messages = self.network.messages_sent - before_all
         self.metrics.observe("bulk_join_messages", messages)
         self.metrics.observe_many(
-            "view_size", [self.nodes[oid].view_size() for oid in ids])
+            "view_size", [self.nodes[oid].view_size() for oid in ids
+                          if oid in self.nodes])
         for phase, count in phase_messages.items():
             self.trace.record(self.engine.now, "bulk_join_phase",
                               phase=phase, messages=count, objects=len(ids))
         return BulkJoinReport(object_ids=ids, messages=messages,
                               phase_messages=phase_messages,
-                              virtual_time=self.engine.now)
+                              virtual_time=self.engine.now,
+                              timed_out=tuple(sorted(timed_out)))
 
     def complete_insertion(self, owner: ProtocolNode, new_id: int,
                            position: Point, routing_hops: int,
                            bulk: bool = False) -> None:
-        """Region owner's ``AddVoronoiRegion``: carve the region, notify views."""
+        """Region owner's ``AddVoronoiRegion``: carve the region, notify views.
+
+        Idempotent under retries: a request whose region was already carved
+        (a retried ``ADD_OBJECT`` whose original completed after all, or
+        whose ``CREATE_OBJECT`` answer was lost) only re-sends the
+        version-stamped view snapshot, and a request for a joiner that has
+        since crashed is abandoned — the kernel must never hold a vertex no
+        live node backs.
+        """
         self._last_routing_hops = routing_hops
+        if new_id not in self.nodes:
+            # The joiner crashed while its ADD_OBJECT was still walking.
+            self._join_outcomes[new_id] = "timed_out"
+            self.finish_operation(("join", new_id))
+            self.metrics.increment("joins_abandoned")
+            return
+        if self.kernel.vertex_at(position) == new_id:
+            # Duplicate retry: the region exists; re-deliver the snapshot
+            # (heals a lost CREATE_OBJECT without touching the kernel).
+            self.metrics.increment("duplicate_carves")
+            version = self.kernel.version
+            view = {nid: self.kernel.point(nid)
+                    for nid in self.kernel.neighbors(new_id)}
+            payload = {"voronoi": view, "version": version}
+            if bulk:
+                payload["bulk"] = True
+            self.send(owner, new_id, "CREATE_OBJECT", payload)
+            return
         try:
             self.kernel.insert(position, vertex_id=new_id, hint=owner.object_id)
         except DuplicatePointError:
             # Duplicate coordinates: refuse the join; the node stays isolated.
+            self.finish_operation(("join", new_id))
+            self._join_outcomes[new_id] = "rejected"
             self.network.unregister(new_id)
             del self.nodes[new_id]
             return
@@ -1109,24 +1565,32 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
                 continue
             new_holder = min(candidates,
                              key=lambda nid: distance(self.nodes[nid].position, target))
+            # Captured before the sends: a fault-plane trigger may crash
+            # the holder while the first message is being counted.
+            holder_position = self.nodes[new_holder].position
             self.send(node, new_holder, "BACKLINK_TRANSFER",
                       {"source": source, "link_index": link_index, "target": target})
             self.send(node, source, "LONG_LINK_RETARGET",
                       {"link_index": link_index, "neighbor": new_holder,
-                       "neighbor_position": self.nodes[new_holder].position})
+                       "neighbor_position": holder_position})
         # 4. Deregister our own long links at their endpoints.
         for index, link in enumerate(node.long_links):
             if link.neighbor in self.nodes and link.neighbor != object_id:
                 self.send(node, link.neighbor, "BACKLINK_REMOVE",
                           {"source": object_id, "link_index": index})
         self.engine.run()
+        outcome = "completed"
+        if self.nodes.pop(object_id, None) is None:
+            # The leaver crashed while its own hand-over was draining: to
+            # the survivors this became an abrupt crash (the injector tore
+            # the node down), so report the graceful leave as timed out.
+            outcome = "timed_out"
         self.network.unregister(object_id)
-        del self.nodes[object_id]
         self.metrics.increment("leaves")
         messages = self.network.messages_sent - before
         self.metrics.observe("leave_messages", messages)
         return LeaveReport(object_id=object_id, messages=messages,
-                           virtual_time=self.engine.now)
+                           virtual_time=self.engine.now, outcome=outcome)
 
     # ------------------------------------------------------------------
     # queries

@@ -235,8 +235,10 @@ class TestExportsAndStats:
         assert "voronoi" in kinds and "long" in kinds
 
     def test_stats_describe_lines(self, small_overlay):
+        # 5 operation groups + routing_table_rebuilds + the two
+        # operation-hardening counters (timeouts, retries).
         lines = small_overlay.stats.describe()
-        assert len(lines) == 6
+        assert len(lines) == 8
 
     def test_routing_table_rebuilds_counted_per_epoch_bump(self):
         """The rebuild counter measures exactly the work a topology-epoch

@@ -173,3 +173,106 @@ class TestEngineAgainstOracle:
             if delay <= horizon]
         assert fired == expected
         assert engine.now >= horizon
+
+
+# ----------------------------------------------------------------------
+# timeout events (crash-at-any-message hardening)
+# ----------------------------------------------------------------------
+class TestTimeoutEventAccounting:
+    """Watchdog timeout events obey the engine's quiescence contract.
+
+    Operation watchdogs are armed and cancelled on the protocol hot path,
+    so the O(1) quiescence counter must stay exact under any mix of
+    cancellations, pokes and re-arms — and a perpetually-retrying
+    operation (a watchdog that re-arms itself on every expiry) must be
+    boundable by ``run(max_events)``, the round budget the fuzzing
+    harness leans on.
+    """
+
+    def test_quiescence_counter_exact_under_cancelled_watchdogs(self):
+        from repro.simulation.engine import Watchdog
+
+        engine = SimulationEngine()
+        dogs = [Watchdog(engine, 5.0 + index, lambda: None)
+                for index in range(40)]
+        for dog in dogs[::2]:
+            dog.cancel()
+        assert engine.runnable_events == _scan_runnable(engine) == 20
+        engine.run()
+        assert engine.quiescent
+        assert engine.runnable_events == _scan_runnable(engine) == 0
+        assert sum(dog.fired for dog in dogs) == 20
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        total=st.integers(1, 80),
+        cancel_stride=st.integers(1, 4),
+        poke_stride=st.integers(1, 4),
+        horizon=st.floats(0.0, 30.0, allow_nan=False),
+    )
+    def test_counter_matches_scan_under_watchdog_churn(self, total,
+                                                       cancel_stride,
+                                                       poke_stride, horizon):
+        """Arm N watchdogs, cancel and poke strided subsets, run part way:
+        the O(1) counter equals the brute-force queue scan at every stage,
+        and cancelled watchdogs never fire."""
+        from repro.simulation.engine import Watchdog
+
+        engine = SimulationEngine()
+        dogs = [Watchdog(engine, 1.0 + (index % 7), lambda: None)
+                for index in range(total)]
+        cancelled = set()
+        for index, dog in enumerate(dogs):
+            if index % (cancel_stride + 1) == 0:
+                dog.cancel()
+                cancelled.add(index)
+            elif index % (poke_stride + 1) == 0:
+                dog.poke()
+        assert engine.runnable_events == _scan_runnable(engine)
+        engine.run_until(horizon)
+        assert engine.runnable_events == _scan_runnable(engine)
+        engine.run()
+        assert engine.quiescent
+        assert engine.runnable_events == _scan_runnable(engine) == 0
+        for index, dog in enumerate(dogs):
+            assert dog.fired == (0 if index in cancelled else 1)
+
+    def test_perpetual_retry_bounded_by_event_budget(self):
+        """A watchdog that re-arms on every expiry models an operation
+        that retries forever; run(max_events) bounds termination, and the
+        engine is honestly non-quiescent afterwards."""
+        from repro.simulation.engine import Watchdog
+
+        engine = SimulationEngine()
+        fires = []
+
+        def expire():
+            fires.append(engine.now)
+            dog.rearm(dog.timeout * 2.0)  # exponential backoff, forever
+
+        dog = Watchdog(engine, 1.0, expire)
+        executed = engine.run(max_events=25)
+        assert executed == 25
+        assert len(fires) == 25
+        assert fires == sorted(fires)
+        assert not engine.quiescent       # the retry loop is still armed
+        assert engine.runnable_events == _scan_runnable(engine) == 1
+        dog.cancel()                      # budget exhausted: caller aborts
+        assert engine.quiescent
+
+    def test_poked_watchdog_reschedules_without_firing(self):
+        """A poke inside the quiet window defers expiry: the fire handler
+        runs only once, at last_progress + timeout, and the intermediate
+        rescheduled event keeps the quiescence accounting exact."""
+        from repro.simulation.engine import Watchdog
+
+        engine = SimulationEngine()
+        fired = []
+        dog = Watchdog(engine, 4.0, lambda: fired.append(engine.now))
+        engine.schedule(3.0, dog.poke)
+        engine.run_until(5.0)             # original deadline has passed
+        assert fired == []                # ...but progress deferred it
+        assert engine.runnable_events == _scan_runnable(engine) == 1
+        engine.run()
+        assert fired == [7.0]
+        assert engine.quiescent

@@ -596,3 +596,101 @@ class TestProtocolChurnHarness:
         assert harness.simulator.engine.quiescent
         # A batched operation is immediately usable after teardown.
         harness.simulator.bulk_join([(0.123456, 0.654321)])
+
+
+# ----------------------------------------------------------------------
+# partition edge cases (crash-at-any-message hardening)
+# ----------------------------------------------------------------------
+class TestPartitionEdgeCases:
+    """Boundary semantics of partition windows on the virtual clock.
+
+    The fault plane decides a message's fate at *send* time, and the
+    window is half-open (``start <= now < end``).  These tests pin both
+    facts: a message sent before the window opens sails through even
+    though its delivery lands inside the window, and the exact boundary
+    instants behave deterministically (window start cuts, window end
+    does not, a crash landing on the boundary takes precedence).
+    """
+
+    def test_message_sent_before_window_delivers_inside_it(self):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.network import ConstantLatency, Network
+
+        engine = SimulationEngine()
+        network = Network(engine, ConstantLatency(10.0))
+        plane = FaultPlane(seed=5)
+        network.faults = plane
+        received = []
+        network.register(1, lambda message: None)
+        network.register(2, lambda message: received.append(
+            (engine.now, message.kind)))
+        plane.partition([2], start=5.0, end=20.0)
+        # Sent at t=0 (window closed), delivered at t=10 (window open):
+        # the decision was taken at send time, so it goes through.
+        network.send(Message(sender=1, recipient=2, kind="EARLY"))
+        # Sent at t=6 (window open): cut, even though its delivery at
+        # t=16 would also land inside the window.
+        engine.schedule(6.0, lambda: network.send(
+            Message(sender=1, recipient=2, kind="INSIDE")))
+        engine.run()
+        assert received == [(10.0, "EARLY")]
+        assert plane.drops_by_reason == {"partition": 1}
+
+    def test_crash_landing_exactly_on_window_boundary(self):
+        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.network import ConstantLatency, Network
+
+        engine = SimulationEngine()
+        network = Network(engine, ConstantLatency(1.0))
+        plane = FaultPlane(seed=6)
+        network.faults = plane
+        received = []
+        network.register(1, lambda message: None)
+        network.register(2, lambda message: received.append(message.kind))
+        plane.partition([2], start=5.0, end=10.0)
+        # t=5 exactly: the half-open window includes its start — cut.
+        engine.schedule(5.0, lambda: network.send(
+            Message(sender=1, recipient=2, kind="AT_START")))
+        # t=10 exactly: the window excludes its end, but a crash lands on
+        # the same boundary instant first — the fixed decision order
+        # (crash before partition) must classify the drop as a crash.
+        engine.schedule(10.0, lambda: plane.crash(2))
+        engine.schedule(10.0, lambda: network.send(
+            Message(sender=1, recipient=2, kind="AT_END")))
+        engine.run()
+        assert received == []
+        assert plane.drops_by_reason == {"partition": 1,
+                                         "crashed_recipient": 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**16),
+           start=st.floats(0.0, 50.0, allow_nan=False),
+           duration=st.floats(0.001, 50.0, allow_nan=False),
+           crash_on_boundary=st.booleans(),
+           at_end=st.booleans())
+    def test_boundary_decisions_pinned(self, seed, start, duration,
+                                       crash_on_boundary, at_end):
+        """Seeded planes agree exactly at both window boundary instants."""
+        from hypothesis import assume
+
+        end = start + duration
+        assume(end > start)
+        decisions = []
+        for _ in range(2):
+            plane = FaultPlane(seed=seed)
+            plane.partition([2], start=start, end=end)
+            if crash_on_boundary:
+                plane.crash(1)
+            now = end if at_end else start
+            decisions.append(plane.decide(
+                Message(sender=1, recipient=2, kind="X"), now))
+        assert decisions[0] == decisions[1]
+        decision = decisions[0]
+        if crash_on_boundary:
+            assert not decision.deliver
+            assert decision.reason == "crashed_sender"
+        elif at_end:
+            assert decision.deliver
+        else:
+            assert not decision.deliver
+            assert decision.reason == "partition"

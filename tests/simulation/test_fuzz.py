@@ -1,0 +1,238 @@
+"""Tests of the crash-at-any-message fuzzing harness.
+
+Three layers: unit checks of the schedule/outcome plumbing and the CLI,
+replay determinism (the same triple produces byte-identical outcomes —
+the property every failure report relies on), and a Hypothesis stateful
+machine that interleaves joins, leaves and armed crash triggers against a
+live simulator, healing and asserting clean convergence — Hypothesis
+shrinks any failing interleaving to a minimal one.
+"""
+
+import json
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, rule
+
+from repro.core import VoroNetConfig
+from repro.simulation.faults import (
+    FaultPlane,
+    HeartbeatDetector,
+    ProtocolCrashInjector,
+    RepairProtocol,
+)
+from repro.simulation.fuzz import (
+    CrashSchedule,
+    CrashScheduleFuzzer,
+    main,
+)
+from repro.simulation.protocol import ProtocolSimulator
+from repro.utils.rng import RandomSource
+from repro.workloads.distributions import UniformDistribution
+from repro.workloads.generators import generate_objects
+
+
+# ----------------------------------------------------------------------
+# plumbing
+# ----------------------------------------------------------------------
+class TestSchedule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashSchedule(seed=1, message_index=0)
+        with pytest.raises(ValueError):
+            CrashSchedule(seed=1, message_index=5, victim_rank=-1)
+        with pytest.raises(ValueError):
+            CrashScheduleFuzzer(num_objects=2)
+        with pytest.raises(ValueError):
+            CrashScheduleFuzzer().run_sweep(0, 0)
+
+    def test_triple_round_trips(self):
+        schedule = CrashSchedule(seed=9, message_index=42, victim_rank=3)
+        assert schedule.as_triple() == (9, 42, 3)
+
+    def test_baseline_runs_fault_free(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=10, churn_events=4)
+        outcome = fuzzer.run_schedule(
+            CrashSchedule(seed=17, message_index=None))
+        assert outcome.victim is None
+        assert outcome.crash_phase is None
+        assert outcome.converged
+        assert not outcome.failed
+        assert outcome.messages > 0
+        assert outcome.verify_problems == 0
+        assert outcome.pending_operations == ()
+
+    def test_crash_fires_and_converges(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=14, churn_events=4)
+        baseline = fuzzer.baseline_messages(23)
+        outcome = fuzzer.run_schedule(
+            CrashSchedule(seed=23, message_index=baseline // 2,
+                          victim_rank=5))
+        assert outcome.victim is not None
+        assert outcome.crash_phase in ("build", "churn", "heal")
+        assert outcome.converged, outcome
+        assert outcome.residual_stale == 0
+
+    def test_outcome_as_dict_is_json_ready(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=10, churn_events=2)
+        outcome = fuzzer.run_schedule(
+            CrashSchedule(seed=3, message_index=30, victim_rank=1))
+        json.dumps(outcome.as_dict())  # must not raise
+
+
+# ----------------------------------------------------------------------
+# replay determinism — the property every failure report relies on
+# ----------------------------------------------------------------------
+class TestReplayDeterminism:
+    def test_same_triple_same_fingerprint(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=14, churn_events=6)
+        schedule = CrashSchedule(seed=31, message_index=120, victim_rank=9)
+        first = fuzzer.run_schedule(schedule)
+        second = fuzzer.run_schedule(schedule)
+        assert first.fingerprint == second.fingerprint
+        assert first == second
+
+    def test_sweep_reproducible_from_master_seed(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=10, churn_events=4)
+        first = fuzzer.run_sweep(5, 6)
+        second = fuzzer.run_sweep(5, 6)
+        assert [o.fingerprint for o in first.outcomes] == \
+               [o.fingerprint for o in second.outcomes]
+        assert first.failures == second.failures
+
+    def test_sweep_converges(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=12, churn_events=4)
+        report = fuzzer.run_sweep(77, 20)
+        assert report.schedules_run == 20
+        assert report.converged, [f.schedule.as_triple()
+                                  for f in report.failures]
+        assert report.crashes_fired > 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis stateful machine
+# ----------------------------------------------------------------------
+class CrashRecoveryMachine(RuleBasedStateMachine):
+    """Interleave joins, leaves and armed crash triggers; always heal clean.
+
+    Any failing interleaving shrinks to a minimal rule sequence; the
+    seeded substrate keeps each replay of that sequence deterministic.
+    """
+
+    _POSITIONS = st.tuples(
+        st.floats(0.01, 0.99, allow_nan=False, allow_infinity=False),
+        st.floats(0.01, 0.99, allow_nan=False, allow_infinity=False))
+
+    @initialize(seed=st.integers(0, 2**20))
+    def setup(self, seed):
+        config = VoroNetConfig(n_max=256, num_long_links=1, seed=seed)
+        self.simulator = ProtocolSimulator(config, seed=seed,
+                                           faults=FaultPlane(seed=seed + 1))
+        self.injector = ProtocolCrashInjector(self.simulator,
+                                              rng=RandomSource(seed + 2))
+        positions = generate_objects(UniformDistribution(), 12,
+                                     RandomSource(seed + 3))
+        self.simulator.bulk_join(positions)
+
+    @rule(position=_POSITIONS)
+    def join(self, position):
+        report = self.simulator.join(position)
+        assert report.outcome in ("completed", "timed_out", "rejected")
+
+    @rule(pick=st.integers(0, 10_000))
+    def leave(self, pick):
+        live = sorted(self.simulator.nodes)
+        if len(live) > 6:
+            report = self.simulator.leave(live[pick % len(live)])
+            assert report.outcome in ("completed", "timed_out")
+
+    @rule(offset=st.integers(0, 30), rank=st.integers(0, 100),
+          position=_POSITIONS)
+    def crash_during_join(self, offset, rank, position):
+        simulator = self.simulator
+
+        def trigger(_message):
+            live = sorted(simulator.nodes)
+            if len(live) > 6:
+                self.injector.crash(live[rank % len(live)])
+
+        simulator.network.at_message(
+            simulator.network.messages_sent + 1 + offset, trigger)
+        self.simulator.join(position)
+
+    @rule()
+    def heal_and_verify(self):
+        simulator = self.simulator
+        detector = HeartbeatDetector(simulator)
+        repairer = RepairProtocol(simulator, detector=detector, max_rounds=8)
+        dead = set(self.injector.crashed)
+
+        def all_damage_suspected():
+            for object_id in sorted(simulator.nodes):
+                node = simulator.nodes[object_id]
+                for peer in sorted(node.monitored_peers()):
+                    if peer in dead and peer not in node.suspects:
+                        return False
+            return True
+
+        repair = None
+        for _ in range(3):
+            rounds = 0
+            while rounds < 6:
+                detector.run_round()
+                rounds += 1
+                if (rounds >= detector.miss_threshold
+                        and all_damage_suspected()):
+                    break
+            repair = repairer.repair()
+            if repair.converged and not simulator.verify_views():
+                break
+        assert repair is not None and repair.converged
+        assert simulator.verify_views() == []
+        assert self.injector.assess_damage().total_stale_entries == 0
+        assert simulator.pending_operations() == []
+        assert simulator.engine.quiescent
+
+    def teardown(self):
+        # Whatever the interleaving left behind must still heal clean.
+        if hasattr(self, "simulator"):
+            self.heal_and_verify()
+
+
+CrashRecoveryMachine.TestCase.settings = settings(
+    max_examples=8, stateful_step_count=10, deadline=None)
+TestCrashRecovery = CrashRecoveryMachine.TestCase
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_sweep_smoke_exits_zero(self, capsys):
+        assert main(["--seed", "5", "--schedules", "4",
+                     "--objects", "10", "--churn", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 schedules" in out
+        assert "0 failures" in out
+
+    def test_replay_smoke(self, capsys):
+        assert main(["--replay", "5:40:2", "--objects", "10",
+                     "--churn", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("ok seed=5")
+
+    def test_replay_fault_free_index(self, capsys):
+        assert main(["--replay", "5:none:0", "--objects", "10",
+                     "--churn", "2"]) == 0
+        assert "victim=None" in capsys.readouterr().out
+
+    def test_no_artifact_written_on_success(self, tmp_path, capsys):
+        artifact = tmp_path / "failures.json"
+        assert main(["--seed", "5", "--schedules", "2", "--objects", "10",
+                     "--churn", "2", "--output", str(artifact)]) == 0
+        assert not artifact.exists()
+
+    def test_replay_parse_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--replay", "not-a-triple"])
