@@ -21,10 +21,18 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-__all__ = ["VoroNetConfig", "DEFAULT_N_MAX"]
+__all__ = ["VoroNetConfig", "DEFAULT_N_MAX", "DEFAULT_SHARD_OCCUPANCY"]
 
 #: Default maximum overlay size used when the caller does not specify one.
 DEFAULT_N_MAX = 100_000
+
+#: Target number of objects per Morton shard when the shard level is
+#: derived from ``n_max`` (see ``VoroNetConfig.effective_shard_level``).
+DEFAULT_SHARD_OCCUPANCY = 512
+
+#: Deepest supported shard level (kept in sync with repro.core.shards;
+#: duplicated here to avoid an import cycle at config time).
+_MAX_SHARD_LEVEL = 8
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,18 @@ class VoroNetConfig:
         of assembling a candidate dict per hop.  Answers and hop counts are
         identical either way; disable to keep the per-hop assembly baseline
         for parity tests.
+    shard_level:
+        Morton prefix depth of the sharded node store: the unit square is
+        split into ``4 ** shard_level`` Z-order shards, each carrying its
+        own routing-table epoch, so churn only invalidates tables in the
+        touched shards.  ``0`` is the flat-store baseline (one shard, one
+        epoch — the pre-shard behaviour); ``None`` (default) derives the
+        level from ``n_max`` and ``shard_occupancy``.
+    shard_occupancy:
+        Target objects per shard used when deriving ``shard_level`` from
+        ``n_max``.  Smaller shards mean finer invalidation (less rebuild
+        work per churn event) but more epoch bookkeeping per overlay-wide
+        invalidation; 512 keeps both costs negligible from 10³ to 10⁷.
     track_paths:
         Record full routing paths in :class:`~repro.core.routing.RouteResult`
         objects (memory-heavier; useful for debugging and examples).
@@ -95,6 +115,8 @@ class VoroNetConfig:
     use_locate_index: bool = True
     use_routing_cache: bool = True
     use_node_routing_cache: bool = True
+    shard_level: Optional[int] = None
+    shard_occupancy: int = DEFAULT_SHARD_OCCUPANCY
     track_paths: bool = False
     seed: Optional[int] = None
 
@@ -109,6 +131,14 @@ class VoroNetConfig:
             raise ValueError(
                 f"d_min must lie in (0, sqrt(2)), got {self.d_min}"
             )
+        if self.shard_level is not None and not 0 <= self.shard_level <= _MAX_SHARD_LEVEL:
+            raise ValueError(
+                f"shard_level must lie in [0, {_MAX_SHARD_LEVEL}], got {self.shard_level}"
+            )
+        if self.shard_occupancy < 1:
+            raise ValueError(
+                f"shard_occupancy must be >= 1, got {self.shard_occupancy}"
+            )
 
     @property
     def effective_d_min(self) -> float:
@@ -116,6 +146,25 @@ class VoroNetConfig:
         if self.d_min is not None:
             return self.d_min
         return 1.0 / math.sqrt(math.pi * self.n_max)
+
+    @property
+    def effective_shard_level(self) -> int:
+        """The Morton shard level actually used by the overlay's node store.
+
+        Explicit ``shard_level`` wins; otherwise the smallest level whose
+        ``4 ** level`` shards keep the *dimensioned* population
+        (``n_max``) at or under ``shard_occupancy`` objects per shard.
+        Small overlays (``n_max <= shard_occupancy``) derive level 0 — a
+        single shard, behaviourally identical to the pre-shard global
+        epoch — so sharding never perturbs unit-scale experiments.
+        """
+        if self.shard_level is not None:
+            return self.shard_level
+        target_shards = self.n_max // self.shard_occupancy
+        level = 0
+        while (1 << (2 * level)) < target_shards and level < _MAX_SHARD_LEVEL:
+            level += 1
+        return level
 
     @property
     def long_link_normalization(self) -> float:

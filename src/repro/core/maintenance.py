@@ -50,6 +50,12 @@ def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
     node = overlay.node(object_id)
     voronoi_neighbors = overlay.voronoi_neighbors(object_id)
     messages = len(voronoi_neighbors)  # region-update notifications
+    # Ids whose forwarding candidates this attach changes: the new object
+    # itself plus every long-link source re-pointed at it.  Close
+    # registrations bump their own shards inside register_close_neighbors;
+    # back-registration moves alone change no routing candidates (BLRn is
+    # not routed on).
+    affected: List[int] = [object_id]
 
     # Close neighbours (skipped entirely under the ABL1 ablation).
     if overlay.config.maintain_close_neighbors:
@@ -76,8 +82,9 @@ def integrate_new_object(overlay: "VoroNet", object_id: int) -> int:
                                    back_link.target)
                 source = overlay.node(back_link.source)
                 source.retarget_long_link(back_link.link_index, object_id)
+                affected.append(back_link.source)
                 messages += 2  # hand-over to the new holder + notify the source
-    overlay.invalidate_routing_tables()
+    overlay.invalidate_routing_tables(affected)
     return messages
 
 
@@ -128,6 +135,9 @@ def bulk_integrate_objects(overlay: "VoroNet", object_ids: List[int]) -> int:
                 overlay.node(back_link.source).retarget_long_link(
                     back_link.link_index, owner)
                 messages += 2  # hand-over to the new holder + notify the source
+    # A batch attach touches close sets and link sources across the whole
+    # overlay; the caller (bulk_load) already operates at overlay-wide
+    # invalidation scope, so stay with the bare form here.
     overlay.invalidate_routing_tables()
     return messages
 
@@ -153,11 +163,18 @@ def detach_object(overlay: "VoroNet", object_id: int) -> int:
     node = overlay.node(object_id)
     voronoi_neighbors = overlay.voronoi_neighbors(object_id)
     messages = len(voronoi_neighbors)  # boundary updates
+    # Ids whose forwarding candidates this detach changes: the departing
+    # object, every close neighbour that drops it, and every long-link
+    # source re-pointed at a delegate.  (Back-registration moves and
+    # deregistrations alone change no routing candidates.)  The caller
+    # bumps the ex-Voronoi-neighbours after the kernel removal.
+    affected: List[int] = [object_id]
 
     # Close-neighbour notifications.
     for close_id in list(node.close_neighbors):
         if close_id in overlay:
             overlay.node(close_id).discard_close_neighbor(object_id)
+            affected.append(close_id)
             messages += 1
     node.close_neighbors.clear()
 
@@ -184,6 +201,7 @@ def detach_object(overlay: "VoroNet", object_id: int) -> int:
             new_holder.add_back_link(source_id, back_link.link_index, back_link.target)
             overlay.node(source_id).retarget_long_link(back_link.link_index,
                                                        new_holder_id)
+            affected.append(source_id)
             messages += 2  # delegate to the neighbour + notify the source
     node.back_links.clear()
 
@@ -193,7 +211,7 @@ def detach_object(overlay: "VoroNet", object_id: int) -> int:
         if endpoint in overlay and endpoint != object_id:
             overlay.node(endpoint).remove_back_link(object_id, index)
             messages += 1
-    overlay.invalidate_routing_tables()
+    overlay.invalidate_routing_tables(affected)
     return messages
 
 

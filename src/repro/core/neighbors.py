@@ -104,15 +104,14 @@ def register_close_neighbors(overlay: "VoroNet", object_id: int,
     distributed protocol (one per declared close neighbour).
     """
     node = overlay.node(object_id)
-    messages = 0
-    for neighbor_id in close_neighbors:
+    declared = list(close_neighbors)
+    for neighbor_id in declared:
         node.add_close_neighbor(neighbor_id)
         overlay.node(neighbor_id).add_close_neighbor(object_id)
-        messages += 1
     # Close neighbours are forwarding candidates on both endpoints: any
     # cached routing table touching this pair is now stale.
-    overlay.invalidate_routing_tables()
-    return messages
+    overlay.invalidate_routing_tables([object_id, *declared])
+    return len(declared)
 
 
 def brute_force_close_neighbors(positions: Dict[int, Point], object_id: int,

@@ -29,19 +29,31 @@ Greedy forwarding is served from *flat routing tables*: per object and per
 variant (with long links / Delaunay-only), a candidate-id array aligned
 with a ``(k, 2)`` position array, equal at all times to the freshly
 assembled :attr:`NeighborView.routing_neighbors` of that object.  Tables
-are built lazily by :meth:`VoroNet.routing_table` and invalidated wholesale
-by the monotone :attr:`VoroNet.topology_epoch`, which every mutation of
-view-relevant state bumps — :meth:`insert`, :meth:`remove`,
-:meth:`bulk_load`, long-link establishment/churn
-(:meth:`reset_long_links`), and the maintenance procedures
+are built lazily by :meth:`VoroNet.routing_table` and invalidated by
+**per-shard epochs**: the substrate is a Morton-range
+:class:`~repro.core.shards.ShardedNodeStore`, every cached entry records
+the epoch of its object's shard at build time, and a mutation bumps only
+the shards of the objects whose forwarding candidates it changed —
+:meth:`insert`, :meth:`remove`, long-link establishment/churn
+(:meth:`reset_long_links`) and the maintenance procedures
 (close-neighbour registration, back-link hand-over, long-link
-re-delegation) via :meth:`invalidate_routing_tables`.  Code that mutates
+re-delegation) all pass their affected-id sets to
+:meth:`invalidate_routing_tables`, so churn rebuild work scales with
+shard occupancy instead of overlay size.  Overlay-wide events
+(:meth:`bulk_load`, crash injection, external view surgery) call
+:meth:`invalidate_routing_tables` with no arguments, which bumps every
+shard; :attr:`VoroNet.topology_epoch` remains a monotone generation
+counter of invalidation events (bumped exactly once per call) for
+observers that only need "did anything change".  Code that mutates
 :class:`~repro.core.node.ObjectNode` view state outside those entry points
-MUST call :meth:`invalidate_routing_tables` afterwards, or cached tables go
-stale; the shared kernel and :class:`LocateGrid` are kept exactly in sync
-by the same entry points.  Cache hits never change results — with
-``use_routing_cache`` disabled the same answers come from per-hop view
-assembly, which is what the parity tests assert.
+MUST call :meth:`invalidate_routing_tables` afterwards — with the touched
+object ids when it knows them, bare otherwise — or cached tables go
+stale; the shared kernel, :class:`LocateGrid` and the sharded store are
+kept exactly in sync by the same entry points.  Cache hits never change
+results — with ``use_routing_cache`` disabled the same answers come from
+per-hop view assembly, which is what the parity tests assert, and
+``shard_level=0`` (one shard) reproduces the historical global-epoch
+behaviour exactly.
 """
 
 from __future__ import annotations
@@ -65,6 +77,7 @@ from repro.core.maintenance import bulk_integrate_objects, detach_object, integr
 from repro.core.neighbors import NeighborView
 from repro.core.node import ObjectNode
 from repro.core.routing import RouteResult, greedy_route, route_to_object
+from repro.core.shards import ShardedNodeStore
 from repro.core.stats import OverlayStats
 from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
 from repro.geometry.delaunay import DelaunayTriangulation, DuplicatePointError
@@ -119,14 +132,19 @@ class VoroNet:
         self._next_id = 0
         self._join_counter = itertools.count()
         self._stats = OverlayStats()
+        # Morton-sharded struct-of-arrays substrate: per-shard id/position
+        # blocks plus the per-shard epoch list that scopes routing-table
+        # invalidation (see the module docstring).
+        self._store = ShardedNodeStore(config.effective_shard_level)
         # Epoch-invalidated flat routing tables (see the module docstring):
         # one dict per variant (with long links / Delaunay-only), each
-        # object_id → [epoch, candidate ids | None, (k, 2) positions | None,
-        # flat (id, x, y) scan block].  Two bare-int-keyed dicts instead of
-        # one tuple-keyed dict (the hot loop probes once per forwarding
-        # hop), and the numpy arrays are materialised lazily so join-heavy
-        # churn — which invalidates on every insert — never pays for arrays
-        # it immediately throws away.
+        # object_id → [shard epoch at build, candidate ids | None,
+        # (k, 2) positions | None, flat (id, x, y) scan block, shard index].
+        # Two bare-int-keyed dicts instead of one tuple-keyed dict (the hot
+        # loop probes once per forwarding hop), and the numpy arrays are
+        # materialised lazily so join-heavy churn — which invalidates its
+        # shard on every insert — never pays for arrays it immediately
+        # throws away.
         self._topology_epoch = 0
         self._routing_tables: Dict[bool, Dict[int, list]] = {True: {}, False: {}}
 
@@ -210,22 +228,45 @@ class VoroNet:
 
     @property
     def topology_epoch(self) -> int:
-        """Monotone counter of view-relevant topology changes.
+        """Monotone generation counter of view-relevant topology changes.
 
-        Bumped by every insert/remove/bulk load, by long-link churn and by
-        the maintenance procedures; cached routing tables are valid exactly
-        when their stored epoch equals this value.
+        Bumped exactly once by every :meth:`invalidate_routing_tables`
+        call — insert/remove/bulk load, long-link churn and the
+        maintenance procedures all flow through it — so "did anything
+        change" observers keep working.  Cache *validity* is finer: each
+        routing entry is checked against the epoch of its object's shard
+        (:attr:`shard_store`), which targeted invalidation bumps only for
+        the touched shards.
         """
         return self._topology_epoch
 
-    def invalidate_routing_tables(self) -> None:
-        """Bump the topology epoch, lazily invalidating every routing table.
+    @property
+    def shard_store(self) -> ShardedNodeStore:
+        """The Morton-sharded id/position store and its per-shard epochs."""
+        return self._store
+
+    def invalidate_routing_tables(self,
+                                  object_ids: Optional[Iterable[int]] = None) -> None:
+        """Invalidate cached routing tables, lazily, by bumping shard epochs.
+
+        With ``object_ids`` given, only the shards holding those objects
+        are bumped — the targeted form every churn-local mutation path
+        uses, which is what keeps rebuild work proportional to shard
+        occupancy.  Without arguments every shard is bumped (overlay-wide
+        invalidation).  Either way the :attr:`topology_epoch` generation
+        counter advances exactly once.
 
         The overlay's own mutation entry points call this; external code
         that mutates per-object view state directly (tests, protocol
-        bridges) must call it too, per the module-level contract.
+        bridges, fault injectors) must call it too, per the module-level
+        contract — with the affected ids when it knows them, bare when the
+        damage is overlay-wide or unknown.
         """
         self._topology_epoch += 1
+        if object_ids is None:
+            self._store.bump_all()
+        else:
+            self._store.bump_object_ids(object_ids)
 
     def routing_table(self, object_id: int,
                       use_long_links: bool = True) -> Tuple[np.ndarray, np.ndarray]:
@@ -234,8 +275,8 @@ class VoroNet:
         Returns ``(ids, positions)``: an int64 array of the candidate
         neighbour ids (``vn ∪ cn ∪ LRn`` minus self, or without ``LRn`` for
         the Delaunay-only variant, sorted for determinism) and the aligned
-        ``(k, 2)`` float64 position array.  Cached against
-        :attr:`topology_epoch` when the configuration enables the routing
+        ``(k, 2)`` float64 position array.  Cached against the epoch of
+        the object's shard when the configuration enables the routing
         cache; always equal to a freshly assembled
         :attr:`~repro.core.neighbors.NeighborView.routing_neighbors`.
         """
@@ -265,17 +306,18 @@ class VoroNet:
         The list form of :meth:`routing_table`, cached in the same entry;
         the greedy hot loop scans it inline for the O(1)-size views of the
         paper and switches to the numpy arrays past a size threshold.  The
-        cache-hit path is deliberately flat — one dict probe, one epoch
-        compare — because it runs once per forwarding hop.
+        cache-hit path is deliberately flat — one dict probe, one
+        shard-epoch compare — because it runs once per forwarding hop.
         """
         entry = self._routing_tables[use_long_links].get(object_id)
-        if entry is not None and entry[0] == self._topology_epoch:
+        if entry is not None and entry[0] == self._store.epochs[entry[4]]:
             return entry[3]
         return self._routing_entry(object_id, use_long_links)[3]
 
     def _routing_entry(self, object_id: int, use_long_links: bool) -> list:
         entry = self._routing_tables[use_long_links].get(object_id)
-        if entry is not None and entry[0] == self._topology_epoch:
+        epochs = self._store.epochs
+        if entry is not None and entry[0] == epochs[entry[4]]:
             return entry
         self._stats.routing_table_rebuilds += 1
         node = self.node(object_id)
@@ -291,7 +333,8 @@ class VoroNet:
             # A view referencing a departed object (e.g. crash damage before
             # repair) fails the same way the per-hop assembly path does.
             raise ObjectNotFoundError(exc.args[0]) from None
-        entry = [self._topology_epoch, None, None, block]
+        shard = self._store.shard_of(object_id)
+        entry = [epochs[shard], None, None, block, shard]
         if self._config.use_routing_cache:
             self._routing_tables[use_long_links][object_id] = entry
         return entry
@@ -452,7 +495,12 @@ class VoroNet:
         # failed insert must never burn (and permanently skip) an auto id.
         self._next_id = max(self._next_id, object_id + 1)
         self._locate_index.insert(object_id, position)
-        self.invalidate_routing_tables()
+        self._store.insert(object_id, position)
+        # The carve changed adjacency only inside the new region's star:
+        # the new object and its Voronoi neighbours (every destroyed or
+        # created Delaunay edge has both endpoints there).
+        self.invalidate_routing_tables(
+            [object_id, *self._triangulation.neighbors(object_id)])
         messages += integrate_new_object(self, object_id)
 
         # Long-range links: drawn and resolved by routing from the new object.
@@ -478,9 +526,10 @@ class VoroNet:
                 hops = route.hops
             node.set_long_link(index, target, endpoint)
             # Each installed link changes this object's own forwarding
-            # candidates, and the next link is resolved by routing *from*
+            # candidates (and only its own: back registrations are not
+            # routed on), and the next link is resolved by routing *from*
             # this object — invalidate before that route runs.
-            self.invalidate_routing_tables()
+            self.invalidate_routing_tables([object_id])
             if self._config.maintain_back_links:
                 # Register the reverse pointer even when the owner is the
                 # object itself: a later joiner closer to the target must be
@@ -511,7 +560,7 @@ class VoroNet:
                     if link.neighbor != object_id:
                         messages += 1
         node.long_links.clear()
-        self.invalidate_routing_tables()
+        self.invalidate_routing_tables([object_id])
         return messages + self._establish_long_links(object_id)
 
     def _sample_object_id(self) -> int:
@@ -532,13 +581,21 @@ class VoroNet:
         """
         if object_id not in self._nodes:
             raise ObjectNotFoundError(object_id)
+        # Captured before the kernel removal: the departing region's star
+        # is the only place adjacency changes, so these ex-neighbours (who
+        # become adjacent to each other as the region is handed back) are
+        # the whole invalidation set of the removal itself; detach_object
+        # bumps the maintenance-affected ids (close drops, delegated link
+        # sources/holders) separately.
+        ex_neighbors = self._triangulation.neighbors(object_id)
         messages = detach_object(self, object_id)
         self._triangulation.remove(object_id)
         del self._nodes[object_id]
         self._locate_index.discard(object_id)
+        self._store.discard(object_id)
         self._routing_tables[True].pop(object_id, None)
         self._routing_tables[False].pop(object_id, None)
-        self.invalidate_routing_tables()
+        self.invalidate_routing_tables(ex_neighbors)
         self._stats.leaves.record(0, messages)
 
     # ------------------------------------------------------------------
@@ -671,7 +728,10 @@ class VoroNet:
                 join_order=next(self._join_counter),
             )
         self._locate_index.bulk_insert(zip(ids, batch))
+        self._store.bulk_insert(ids, batch)
         self._next_id = ids[-1] + 1
+        # A batch lands everywhere at once; overlay-wide invalidation is
+        # the honest scope (and a no-op cost: tables are built lazily).
         self.invalidate_routing_tables()
 
         bulk_integrate_objects(self, ids)
@@ -756,6 +816,25 @@ class VoroNet:
             self._triangulation.validate()
         except Exception as exc:  # pragma: no cover - defensive
             problems.append(f"triangulation invalid: {exc}")
+        problems.extend(self._store_consistency_report())
+        return problems
+
+    def _store_consistency_report(self) -> List[str]:
+        """Check the sharded store mirrors the node membership exactly."""
+        problems: List[str] = []
+        store = self._store
+        if len(store) != len(self._nodes):
+            problems.append(
+                f"shard store holds {len(store)} objects, overlay {len(self._nodes)}")
+        for object_id, node in self._nodes.items():
+            if object_id not in store:
+                problems.append(f"{object_id}: missing from the shard store")
+                continue
+            expected = store.shard_of_point(node.position[0], node.position[1])
+            if store.shard_of(object_id) != expected:
+                problems.append(
+                    f"{object_id}: stored in shard {store.shard_of(object_id)}, "
+                    f"position maps to {expected}")
         return problems
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

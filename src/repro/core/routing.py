@@ -193,15 +193,17 @@ def greedy_route(overlay: "VoroNet", source: int, target: Point, *,
         tx, ty = target
         cx, cy = overlay.position_of(current)
         current_d = (cx - tx) * (cx - tx) + (cy - ty) * (cy - ty)
-        # The epoch is frozen for the whole route (routing never mutates
-        # the topology), so the per-hop cache probe is one dict.get plus
-        # one int compare, with no method-call or key-tuple overhead.
+        # The per-shard epoch list is hoisted once (it is mutated in
+        # place, never replaced, so the reference stays live), and each
+        # entry carries its shard index at build time: the per-hop cache
+        # probe is one dict.get, one list index and one int compare, with
+        # no method-call or key-tuple overhead.
         tables = overlay._routing_tables[use_long_links]
-        epoch = overlay.topology_epoch
+        epochs = overlay._store.epochs
         build_entry = overlay._routing_entry
         while True:
             entry = tables.get(current)
-            if entry is None or entry[0] != epoch:
+            if entry is None or entry[0] != epochs[entry[4]]:
                 entry = build_entry(current, use_long_links)
             block = entry[3]
             nxt = None

@@ -16,9 +16,13 @@ import numpy as np
 
 from repro.analysis.hops import HopStatistics, measure_routing
 from repro.analysis.plots import format_table
-from repro.experiments.common import build_overlay, env_scale, scaled
+from repro.experiments.common import build_overlay, env_scale, parallel_tasks, scaled
 from repro.utils.rng import RandomSource
-from repro.workloads.distributions import ClusteredDistribution, PowerLawDistribution
+from repro.workloads.distributions import (
+    ClusteredDistribution,
+    ObjectDistribution,
+    PowerLawDistribution,
+)
 
 __all__ = ["AblationCloseResult", "run_ablation_close", "format_ablation_close"]
 
@@ -33,8 +37,25 @@ class AblationCloseResult:
     mean_view_size: Dict[str, Dict[str, float]]       # workload -> variant -> mean
 
 
-def run_ablation_close(scale: float | None = None, seed: int = 2001) -> AblationCloseResult:
-    """Run the close-neighbour ablation on two clustered workloads."""
+def _ablation_cell_task(workload_name: str, distribution: ObjectDistribution,
+                        variant: str, keep_close: bool, count: int,
+                        build_seed: int, measure_seed: int, num_pairs: int):
+    """One (workload, variant) ablation cell — the unit of parallelism."""
+    overlay = build_overlay(distribution, count, build_seed,
+                            maintain_close_neighbors=keep_close)
+    stats = measure_routing(overlay, num_pairs, RandomSource(measure_seed))
+    mean_view = float(np.mean(list(overlay.view_sizes().values())))
+    return workload_name, variant, stats, mean_view
+
+
+def run_ablation_close(scale: float | None = None, seed: int = 2001, *,
+                       workers: int | None = None) -> AblationCloseResult:
+    """Run the close-neighbour ablation on two clustered workloads.
+
+    The 2×2 (workload × variant) grid builds four independent overlays;
+    ``workers`` spreads the cells over processes (``None`` reads
+    ``REPRO_WORKERS``; results are worker-count independent).
+    """
     scale = env_scale() if scale is None else scale
     count = scaled(2000, scale)
     num_pairs = scaled(400, scale, minimum=50)
@@ -42,18 +63,17 @@ def run_ablation_close(scale: float | None = None, seed: int = 2001) -> Ablation
         "clustered": ClusteredDistribution(num_clusters=5, spread=0.01),
         "powerlaw-a5": PowerLawDistribution(alpha=5.0),
     }
-    routing: Dict[str, Dict[str, HopStatistics]] = {}
-    views: Dict[str, Dict[str, float]] = {}
+    tasks = []
     for w_index, (workload_name, distribution) in enumerate(workloads.items()):
-        routing[workload_name] = {}
-        views[workload_name] = {}
         for variant, keep_close in (("with-cn", True), ("without-cn", False)):
-            overlay = build_overlay(distribution, count, seed + w_index,
-                                    maintain_close_neighbors=keep_close)
-            routing[workload_name][variant] = measure_routing(
-                overlay, num_pairs, RandomSource(seed + 50 + w_index))
-            views[workload_name][variant] = float(
-                np.mean(list(overlay.view_sizes().values())))
+            tasks.append((workload_name, distribution, variant, keep_close,
+                          count, seed + w_index, seed + 50 + w_index, num_pairs))
+    routing: Dict[str, Dict[str, HopStatistics]] = {name: {} for name in workloads}
+    views: Dict[str, Dict[str, float]] = {name: {} for name in workloads}
+    for workload_name, variant, stats, mean_view in parallel_tasks(
+            _ablation_cell_task, tasks, workers):
+        routing[workload_name][variant] = stats
+        views[workload_name][variant] = mean_view
     return AblationCloseResult(overlay_size=count, num_pairs=num_pairs,
                                routing=routing, mean_view_size=views)
 

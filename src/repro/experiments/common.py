@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from typing import List
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core import VoroNet, VoroNetConfig
 from repro.utils.rng import RandomSource
@@ -16,6 +18,8 @@ __all__ = [
     "build_overlay",
     "checkpoint_schedule",
     "evaluation_distributions",
+    "parallel_tasks",
+    "resolve_workers",
     "CAPACITY_HEADROOM",
     "EVALUATION_CELLS_PER_AXIS",
 ]
@@ -80,6 +84,53 @@ def build_overlay(distribution: ObjectDistribution, count: int, seed: int, *,
     else:
         overlay.insert_many(positions)
     return overlay
+
+
+def resolve_workers(workers: Optional[int], tasks: int) -> int:
+    """Number of worker processes to actually use for ``tasks`` tasks.
+
+    ``workers=None`` consults the ``REPRO_WORKERS`` environment variable
+    (defaulting to 1, i.e. serial); ``workers=0`` or any negative value
+    means "use every CPU".  The result is clamped to the task count — it
+    never pays to fork more processes than there are tasks.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_WORKERS")
+        workers = int(env) if env else 1
+    if workers <= 0:
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, max(tasks, 1)))
+
+
+def parallel_tasks(func: Callable, arg_tuples: Sequence[Tuple],
+                   workers: Optional[int] = None) -> List:
+    """Run ``func(*args)`` for each tuple, optionally across processes.
+
+    The sweep drivers hand independent work units (one distribution, one
+    shard range, one parameter cell) to this helper; with ``workers > 1``
+    they run in a process pool, otherwise serially in-process.  Results
+    come back in submission order either way, so callers can zip them with
+    their inputs.
+
+    ``func`` must be a **module-level** function and every argument must be
+    picklable — closures and overlay objects cannot cross the process
+    boundary, so tasks receive seeds and configuration primitives and
+    rebuild their state worker-side.  The pool prefers the ``fork`` start
+    method (cheap on Linux, shares the loaded modules read-only) and falls
+    back to ``spawn`` where fork is unavailable.
+    """
+    arg_tuples = list(arg_tuples)
+    workers = resolve_workers(workers, len(arg_tuples))
+    if workers <= 1 or len(arg_tuples) <= 1:
+        return [func(*args) for args in arg_tuples]
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        futures = [pool.submit(func, *args) for args in arg_tuples]
+        return [future.result() for future in futures]
 
 
 def evaluation_distributions() -> List[ObjectDistribution]:

@@ -15,7 +15,14 @@ from typing import Dict, List
 
 from repro.analysis.degree import DegreeSummary, degree_summary
 from repro.analysis.plots import ascii_histogram, format_table
-from repro.experiments.common import build_overlay, env_scale, evaluation_distributions, scaled
+from repro.experiments.common import (
+    build_overlay,
+    env_scale,
+    evaluation_distributions,
+    parallel_tasks,
+    scaled,
+)
+from repro.workloads.distributions import ObjectDistribution
 
 __all__ = ["Fig5Result", "run_fig5", "format_fig5"]
 
@@ -33,7 +40,16 @@ class Fig5Result:
         return list(self.histograms.keys())
 
 
-def run_fig5(scale: float | None = None, seed: int = 1005) -> Fig5Result:
+def _degree_histogram_task(distribution: ObjectDistribution, count: int,
+                           seed: int):
+    """Build one distribution's overlay and histogram (worker-side unit)."""
+    overlay = build_overlay(distribution, count, seed)
+    histogram = overlay.degree_histogram()
+    return distribution.name, histogram, degree_summary(histogram)
+
+
+def run_fig5(scale: float | None = None, seed: int = 1005, *,
+             workers: int | None = None) -> Fig5Result:
     """Run the Figure 5 experiment.
 
     Parameters
@@ -43,16 +59,20 @@ def run_fig5(scale: float | None = None, seed: int = 1005) -> Fig5Result:
         300 000 — pass ``scale=75`` to match, given time).
     seed:
         Base seed; each distribution gets a distinct derived seed.
+    workers:
+        Worker processes for the four independent overlay builds (``None``
+        reads ``REPRO_WORKERS``; results are worker-count independent).
     """
     scale = env_scale() if scale is None else scale
     count = scaled(4000, scale)
+    tasks = [(distribution, count, seed + index)
+             for index, distribution in enumerate(evaluation_distributions())]
     histograms: Dict[str, Dict[int, int]] = {}
     summaries: Dict[str, DegreeSummary] = {}
-    for index, distribution in enumerate(evaluation_distributions()):
-        overlay = build_overlay(distribution, count, seed + index)
-        histogram = overlay.degree_histogram()
-        histograms[distribution.name] = histogram
-        summaries[distribution.name] = degree_summary(histogram)
+    for name, histogram, summary in parallel_tasks(_degree_histogram_task,
+                                                   tasks, workers):
+        histograms[name] = histogram
+        summaries[name] = summary
     return Fig5Result(overlay_size=count, histograms=histograms, summaries=summaries)
 
 

@@ -25,10 +25,12 @@ from repro.experiments.common import (
     checkpoint_schedule,
     env_scale,
     evaluation_distributions,
+    parallel_tasks,
     scaled,
 )
 from repro.simulation.protocol import ProtocolSimulator
 from repro.utils.rng import RandomSource
+from repro.workloads.distributions import ObjectDistribution
 from repro.workloads.generators import generate_objects
 
 __all__ = ["Fig6Result", "run_fig6", "format_fig6"]
@@ -47,11 +49,56 @@ class Fig6Result:
         return [point.mean_hops for point in self.series[distribution]]
 
 
+def _sweep_one_distribution(distribution: ObjectDistribution, index: int,
+                            seed: int, max_size: int, checkpoints: List[int],
+                            num_pairs: int, num_long_links: int,
+                            use_long_links: bool, use_bulk_load: bool,
+                            use_protocol: bool):
+    """One distribution's full sweep — the unit of work of ``run_fig6``.
+
+    Module-level (not a closure) so :func:`parallel_tasks` can ship it to a
+    worker process; everything it needs is rebuilt worker-side from seeds
+    and primitives.  Returns ``(name, points)``.
+    """
+    rng = RandomSource(seed + index)
+    positions = generate_objects(distribution, max_size, rng)
+
+    if use_protocol:
+        def protocol_factory(seed_offset=index) -> ProtocolSimulator:
+            return ProtocolSimulator(VoroNetConfig(
+                n_max=CAPACITY_HEADROOM * max_size,
+                num_long_links=num_long_links,
+                seed=seed + 100 + seed_offset,
+            ), seed=seed + 100 + seed_offset)
+
+        return distribution.name, sweep_protocol_overlay_sizes(
+            positions, checkpoints, rng,
+            num_pairs=num_pairs,
+            simulator_factory=protocol_factory,
+        )
+
+    def factory(seed_offset=index) -> VoroNet:
+        return VoroNet(VoroNetConfig(
+            n_max=CAPACITY_HEADROOM * max_size,
+            num_long_links=num_long_links,
+            seed=seed + 100 + seed_offset,
+        ))
+
+    return distribution.name, sweep_overlay_sizes(
+        positions, checkpoints, rng,
+        num_pairs=num_pairs,
+        overlay_factory=factory,
+        use_long_links=use_long_links,
+        use_bulk_load=use_bulk_load,
+    )
+
+
 def run_fig6(scale: float | None = None, seed: int = 1006, *,
              num_long_links: int = 1,
              use_long_links: bool = True,
              use_bulk_load: bool = False,
-             use_protocol: bool = False) -> Fig6Result:
+             use_protocol: bool = False,
+             workers: int | None = None) -> Fig6Result:
     """Run the Figure 6 sweep.
 
     Parameters
@@ -73,6 +120,11 @@ def run_fig6(scale: float | None = None, seed: int = 1006, *,
         batched join pipeline (a sequential-join sweep capped out two
         orders of magnitude lower).  ``use_long_links`` must stay on —
         protocol nodes always route over their full view.
+    workers:
+        Worker processes for the four per-distribution sweeps (they are
+        fully independent: distinct seeds, distinct overlays).  ``None``
+        reads ``REPRO_WORKERS`` (default serial); results are identical to
+        a serial run for any worker count.
     """
     scale = env_scale() if scale is None else scale
     max_size = scaled(6000, scale)
@@ -81,40 +133,13 @@ def run_fig6(scale: float | None = None, seed: int = 1006, *,
     if use_protocol and not use_long_links:
         raise ValueError("the protocol-mode sweep always routes over full "
                          "views; use_long_links=False is oracle-only")
-    series: Dict[str, List[RoutingSweepPoint]] = {}
-    for index, distribution in enumerate(evaluation_distributions()):
-        rng = RandomSource(seed + index)
-        positions = generate_objects(distribution, max_size, rng)
-
-        if use_protocol:
-            def protocol_factory(seed_offset=index) -> ProtocolSimulator:
-                return ProtocolSimulator(VoroNetConfig(
-                    n_max=CAPACITY_HEADROOM * max_size,
-                    num_long_links=num_long_links,
-                    seed=seed + 100 + seed_offset,
-                ), seed=seed + 100 + seed_offset)
-
-            series[distribution.name] = sweep_protocol_overlay_sizes(
-                positions, checkpoints, rng,
-                num_pairs=num_pairs,
-                simulator_factory=protocol_factory,
-            )
-            continue
-
-        def factory(seed_offset=index) -> VoroNet:
-            return VoroNet(VoroNetConfig(
-                n_max=CAPACITY_HEADROOM * max_size,
-                num_long_links=num_long_links,
-                seed=seed + 100 + seed_offset,
-            ))
-
-        series[distribution.name] = sweep_overlay_sizes(
-            positions, checkpoints, rng,
-            num_pairs=num_pairs,
-            overlay_factory=factory,
-            use_long_links=use_long_links,
-            use_bulk_load=use_bulk_load,
-        )
+    tasks = [
+        (distribution, index, seed, max_size, checkpoints, num_pairs,
+         num_long_links, use_long_links, use_bulk_load, use_protocol)
+        for index, distribution in enumerate(evaluation_distributions())
+    ]
+    series: Dict[str, List[RoutingSweepPoint]] = dict(
+        parallel_tasks(_sweep_one_distribution, tasks, workers))
     return Fig6Result(checkpoints=checkpoints, num_pairs=num_pairs, series=series)
 
 

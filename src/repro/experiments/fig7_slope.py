@@ -31,16 +31,19 @@ class Fig7Result:
 
 def run_fig7(scale: float | None = None, seed: int = 1007,
              sweep: Optional[Fig6Result] = None, *,
-             use_protocol: bool = False) -> Fig7Result:
+             use_protocol: bool = False,
+             workers: int | None = None) -> Fig7Result:
     """Run the Figure 7 fit (optionally reusing an existing Figure 6 sweep).
 
     ``use_protocol=True`` fits the slope on the *message-level* sweep
     (``run_fig6(use_protocol=True)``): the poly-log exponent is then
     measured on actual greedy walks over per-node local views, validating
-    the oracle-mode fit with protocol ground truth.
+    the oracle-mode fit with protocol ground truth.  ``workers`` is passed
+    through to the underlying Figure 6 sweep.
     """
     if sweep is None:
-        sweep = run_fig6(scale=scale, seed=seed, use_protocol=use_protocol)
+        sweep = run_fig6(scale=scale, seed=seed, use_protocol=use_protocol,
+                         workers=workers)
     fits = {
         name: fit_polylog_exponent(
             [point.size for point in points],

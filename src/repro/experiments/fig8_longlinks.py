@@ -19,10 +19,15 @@ from repro.experiments.common import (
     EVALUATION_CELLS_PER_AXIS,
     build_overlay,
     env_scale,
+    parallel_tasks,
     scaled,
 )
 from repro.utils.rng import RandomSource
-from repro.workloads.distributions import PowerLawDistribution, UniformDistribution
+from repro.workloads.distributions import (
+    ObjectDistribution,
+    PowerLawDistribution,
+    UniformDistribution,
+)
 
 __all__ = ["Fig8Result", "run_fig8", "format_fig8"]
 
@@ -40,8 +45,18 @@ class Fig8Result:
         return [self.results[distribution][k].mean for k in self.link_counts]
 
 
+def _link_count_task(name: str, distribution: ObjectDistribution, count: int,
+                     build_seed: int, measure_seed: int, k: int,
+                     num_pairs: int):
+    """One (distribution, link-count) grid cell — the unit of parallelism."""
+    overlay = build_overlay(distribution, count, build_seed, num_long_links=k)
+    stats = measure_routing(overlay, num_pairs, RandomSource(measure_seed))
+    return name, k, stats
+
+
 def run_fig8(scale: float | None = None, seed: int = 1008, *,
-             link_counts: Sequence[int] = (1, 2, 3, 4, 6, 8, 10)) -> Fig8Result:
+             link_counts: Sequence[int] = (1, 2, 3, 4, 6, 8, 10),
+             workers: int | None = None) -> Fig8Result:
     """Run the Figure 8 experiment.
 
     Parameters
@@ -51,6 +66,10 @@ def run_fig8(scale: float | None = None, seed: int = 1008, *,
         pairs per configuration.
     link_counts:
         Numbers of long links to evaluate (the paper sweeps 1–10).
+    workers:
+        Worker processes for the (distribution × link-count) grid — every
+        cell builds and measures its own overlay, so the grid is
+        embarrassingly parallel (``None`` reads ``REPRO_WORKERS``).
     """
     scale = env_scale() if scale is None else scale
     count = scaled(3000, scale)
@@ -59,15 +78,15 @@ def run_fig8(scale: float | None = None, seed: int = 1008, *,
         "uniform": UniformDistribution(),
         "powerlaw-a5": PowerLawDistribution(alpha=5.0, cells_per_axis=EVALUATION_CELLS_PER_AXIS),
     }
-    results: Dict[str, Dict[int, HopStatistics]] = {}
+    tasks = []
     for d_index, (name, distribution) in enumerate(distributions.items()):
-        per_links: Dict[int, HopStatistics] = {}
         for k_index, k in enumerate(link_counts):
-            overlay = build_overlay(distribution, count, seed + 10 * d_index + k_index,
-                                    num_long_links=k)
-            per_links[k] = measure_routing(
-                overlay, num_pairs, RandomSource(seed + 500 + 10 * d_index + k_index))
-        results[name] = per_links
+            tasks.append((name, distribution, count,
+                          seed + 10 * d_index + k_index,
+                          seed + 500 + 10 * d_index + k_index, k, num_pairs))
+    results: Dict[str, Dict[int, HopStatistics]] = {name: {} for name in distributions}
+    for name, k, stats in parallel_tasks(_link_count_task, tasks, workers):
+        results[name][k] = stats
     return Fig8Result(overlay_size=count, link_counts=list(link_counts),
                       num_pairs=num_pairs, results=results)
 

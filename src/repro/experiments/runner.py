@@ -15,6 +15,7 @@ correspond to scale ≈ 50–75 for Figures 5–8.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Callable, Dict, Tuple
@@ -58,6 +59,10 @@ def main(argv=None) -> int:
                         help="workload scale factor (default 1.0, paper scale ≈ 50-75)")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the experiment's base seed")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for parallelisable sweeps "
+                             "(0 = all CPUs; default serial, or REPRO_WORKERS); "
+                             "results are identical for any worker count")
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -68,6 +73,9 @@ def main(argv=None) -> int:
             kwargs["scale"] = args.scale
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        if (args.workers is not None
+                and "workers" in inspect.signature(runner).parameters):
+            kwargs["workers"] = args.workers
         started = time.time()
         result = runner(**kwargs)
         elapsed = time.time() - started

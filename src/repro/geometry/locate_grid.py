@@ -24,6 +24,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.geometry.point import Point, distance, distance_sq
 
 __all__ = ["LocateGrid"]
@@ -154,8 +156,52 @@ class LocateGrid:
         The batched form used by bulk link resolution and the protocol
         simulator's ``bulk_join``; results are identical to per-point
         :meth:`hint` calls.
+
+        Unlike the scalar path, cell coordinates are computed for the whole
+        batch in one vectorised pass and the queries are then resolved
+        *grouped by cell* — every query landing in the same bucket (the
+        grid's micro-shard) shares one bucket lookup and one candidate
+        materialisation.  Only queries whose own cell is empty fall back to
+        the scalar ring search.  Tie-breaking matches the scalar path: the
+        first strictly-smaller candidate in bucket iteration order wins.
         """
-        return [self.hint(point) for point in points]
+        pts = [(float(point[0]), float(point[1])) for point in points]
+        if not pts:
+            return []
+        if not self._points:
+            return [None] * len(pts)
+        m = self._cells_per_axis
+        arr = np.asarray(pts, dtype=np.float64)
+        cells = (np.clip(arr, 0.0, 1.0) * m).astype(np.int64)
+        np.clip(cells, 0, m - 1, out=cells)
+        codes = cells[:, 0] * m + cells[:, 1]
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        # Group boundaries: positions where the cell code changes.
+        boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
+        starts = np.concatenate(([0], boundaries, [len(order)]))
+        results: List[Optional[int]] = [None] * len(pts)
+        points_map = self._points
+        for g in range(len(starts) - 1):
+            lo, hi = int(starts[g]), int(starts[g + 1])
+            code = int(sorted_codes[lo])
+            bucket = self._cells.get((code // m, code % m))
+            group = order[lo:hi]
+            if bucket:
+                candidates = [(points_map[cid], cid) for cid in bucket]
+                for q in group:
+                    px, py = pts[q]
+                    best = None
+                    best_d = math.inf
+                    for (vx, vy), cid in candidates:
+                        d = (vx - px) ** 2 + (vy - py) ** 2
+                        if d < best_d:
+                            best, best_d = cid, d
+                    results[q] = best
+            else:
+                for q in group:
+                    results[q] = self.hint(pts[q])
+        return results
 
     def _ring(self, cx: int, cy: int, radius: int) -> Iterable[Tuple[int, int]]:
         """Cells at Chebyshev distance ``radius`` from ``(cx, cy)``, in-grid."""

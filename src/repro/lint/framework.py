@@ -117,6 +117,24 @@ class LintConfig:
     slots_exempt: FrozenSet[str] = frozenset()
     #: Attributes whose mutation must bump ``view_epoch`` (SIM001).
     view_attrs: FrozenSet[str] = DEFAULT_VIEW_ATTRS
+    #: Scope of the shard-epoch rule (SIM006).
+    shard_epoch_paths: Tuple[str, ...] = ("repro/core",)
+    #: Node containers whose mutation changes forwarding candidates
+    #: (SIM006).  Back links are deliberately absent: BLRn is not routed
+    #: on, so back-registration churn needs no invalidation.
+    topology_attrs: FrozenSet[str] = frozenset({
+        "long_links", "close_neighbors",
+    })
+    #: ObjectNode methods that mutate a topology container (SIM006).
+    topology_mutators: FrozenSet[str] = frozenset({
+        "set_long_link", "retarget_long_link",
+        "add_close_neighbor", "discard_close_neighbor",
+    })
+    #: Calls that discharge the per-shard epoch contract (SIM006):
+    #: the overlay entry point, or the sharded store's bump primitives.
+    epoch_bump_calls: FrozenSet[str] = frozenset({
+        "invalidate_routing_tables", "bump_object_ids", "bump_all",
+    })
     #: Class definitions SIM005 reads counter fields from.
     stats_classes: Tuple[str, ...] = ("OverlayStats", "OperationStats")
     #: Attribute names treated as "the stats object" in write sites.
@@ -142,7 +160,9 @@ class LintConfig:
                 raise ParseError(f"unknown [tool.simlint] key {key!r}")
             if name == "select":
                 overrides[name] = frozenset(value)
-            elif name in ("ignore", "slots_exempt", "view_attrs"):
+            elif name in ("ignore", "slots_exempt", "view_attrs",
+                          "topology_attrs", "topology_mutators",
+                          "epoch_bump_calls"):
                 overrides[name] = frozenset(value)
             else:
                 overrides[name] = tuple(value)

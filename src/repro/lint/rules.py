@@ -1,4 +1,4 @@
-"""The shipped simlint rules (SIM001–SIM005).
+"""The shipped simlint rules (SIM001–SIM006).
 
 Each rule encodes one convention the simulation plane's correctness rests
 on; the module docstrings of :mod:`repro.simulation.protocol` and
@@ -38,6 +38,18 @@ SIM005 stats-accounting
     object must name counters that exist on the ``OverlayStats`` /
     ``OperationStats`` class definitions — a typo'd counter silently
     creates a fresh attribute and the intended one stays zero.
+
+SIM006 shard-epoch-contract
+    The oracle plane's counterpart of SIM001, for the per-shard epoch
+    scheme of :mod:`repro.core.shards`: any function under ``repro/core``
+    that mutates another node's routing-relevant containers
+    (``long_links`` / ``close_neighbors`` — directly or via the
+    ``ObjectNode`` mutator methods) must be followed, on every mutating
+    path, by ``invalidate_routing_tables(...)`` or a direct store bump
+    (``bump_object_ids`` / ``bump_all``).  Back-link churn is exempt
+    (``BLRn`` is not routed on), as are the primitive mutator bodies on
+    ``ObjectNode`` itself (bare-``self`` receivers) — they cannot reach
+    the overlay, so the contract binds their call sites.
 """
 
 from __future__ import annotations
@@ -55,6 +67,7 @@ __all__ = [
     "SlotsRule",
     "DispatchConsistencyRule",
     "StatsAccountingRule",
+    "ShardEpochContractRule",
     "collect_sent_kinds",
     "collect_handled_kinds",
 ]
@@ -262,6 +275,118 @@ class EpochContractRule(Rule):
     def _is_epoch_target(target: ast.AST) -> bool:
         return (isinstance(target, ast.Attribute)
                 and target.attr == "view_epoch")
+
+
+# ----------------------------------------------------------------------
+# SIM006 — shard epoch contract
+# ----------------------------------------------------------------------
+def _external_topology_attr(node: ast.AST,
+                            topology_attrs: FrozenSet[str]) -> Optional[str]:
+    """Topology container a receiver/target chain mutates on another node.
+
+    Walks down attribute/subscript chains (``node.long_links[i].neighbor``,
+    ``overlay.node(nid).close_neighbors``) looking for a topology attribute.
+    A chain rooted directly at bare ``self`` (``self.close_neighbors``) is
+    *not* reported: those are the primitive mutator definitions on
+    ``ObjectNode`` itself, which cannot reach the overlay to bump epochs —
+    the contract binds their call sites instead.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) and node.attr in topology_attrs:
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                return None
+            return node.attr
+        node = node.value
+    return None
+
+
+@register
+class ShardEpochContractRule(Rule):
+    code = "SIM006"
+    name = "shard-epoch-contract"
+    summary = ("core code mutating a node's routing-relevant containers "
+               "must invalidate routing tables (per-shard epoch bump) on "
+               "every mutating path")
+
+    def check_module(self, module: ModuleInfo,
+                     config: LintConfig) -> Iterable[Finding]:
+        if not path_in_scope(module.display, config.shard_epoch_paths):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, config)
+
+    @staticmethod
+    def _walk_own_body(fn: ast.AST) -> Iterable[ast.AST]:
+        """Walk ``fn`` skipping nested defs — their bodies do not run where
+        they are written, so neither their mutations nor their bumps
+        belong to this function's paths (they get their own visit)."""
+        stack: List[ast.AST] = [fn]
+        while stack:
+            node = stack.pop()
+            if node is not fn and isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_function(self, module: ModuleInfo, fn: ast.FunctionDef,
+                        config: LintConfig) -> Iterable[Finding]:
+        mutations: List[Tuple[ast.AST, str]] = []
+        bumps: List[ast.AST] = []
+        for node in self._walk_own_body(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in config.epoch_bump_calls:
+                    bumps.append(node)
+                elif func.attr in config.topology_mutators:
+                    receiver = func.value
+                    if not (isinstance(receiver, ast.Name)
+                            and receiver.id == "self"):
+                        mutations.append((node, func.attr))
+                elif func.attr in _MUTATING_METHODS:
+                    attr = _external_topology_attr(
+                        func.value, config.topology_attrs)
+                    if attr is not None:
+                        mutations.append((node, attr))
+            elif isinstance(node, (ast.Assign, ast.Delete)):
+                for target in node.targets:
+                    attr = _external_topology_attr(
+                        target, config.topology_attrs)
+                    if attr is not None:
+                        mutations.append((node, attr))
+            elif isinstance(node, ast.AugAssign):
+                attr = _external_topology_attr(
+                    node.target, config.topology_attrs)
+                if attr is not None:
+                    mutations.append((node, attr))
+        if not mutations:
+            return
+        paths = _block_paths(fn)
+        owners = _nearest_statements(fn)
+        bump_sites = [(paths.get(id(owners.get(id(b)))), b.lineno)
+                      for b in bumps if id(b) in owners]
+        for node, attr in mutations:
+            stmt = owners.get(id(node))
+            mut_path = paths.get(id(stmt)) if stmt is not None else None
+            if mut_path is None:
+                continue
+            covered = any(
+                bump_path is not None
+                and _covers(bump_path, bump_line, mut_path, node.lineno)
+                for bump_path, bump_line in bump_sites)
+            if not covered:
+                yield Finding(
+                    path=module.display, line=node.lineno,
+                    col=node.col_offset + 1, rule=self.code,
+                    message=(f"{fn.name!r} mutates routing-relevant "
+                             f"{attr!r} without a following "
+                             f"invalidate_routing_tables()/per-shard epoch "
+                             f"bump on this path — cached routing tables "
+                             f"in the touched shards go stale"))
 
 
 # ----------------------------------------------------------------------

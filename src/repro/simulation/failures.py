@@ -194,13 +194,18 @@ class CrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per 
         overlay = self._overlay
         overlay.triangulation.remove(object_id)
         del overlay._nodes[object_id]  # noqa: SLF001 - deliberate fault injection
-        # The *substrate* state (tessellation, locate grid, caches) is
-        # repaired — only the protocol-level hand-overs are skipped.  Per
-        # the overlay's epoch contract, direct mutation must invalidate the
-        # routing tables, or survivors would greedily forward to crashed
-        # ids; likewise the grid must drop the id or lookups would enter
-        # the overlay at a dead peer.
+        # The *substrate* state (tessellation, locate grid, shard store,
+        # caches) is repaired — only the protocol-level hand-overs are
+        # skipped.  Per the overlay's epoch contract, direct mutation must
+        # invalidate the routing tables, or survivors would greedily
+        # forward to crashed ids; likewise the grid and the sharded store
+        # must drop the id or lookups would enter the overlay at a dead
+        # peer.  The invalidation is overlay-wide (bare call): any
+        # survivor, anywhere, may hold a long link at the victim, and a
+        # crash by definition runs none of the hand-overs that would
+        # enumerate them.
         overlay.locate_index.discard(object_id)
+        overlay.shard_store.discard(object_id)
         overlay.invalidate_routing_tables()
         self._crashed.append(object_id)
 
@@ -245,8 +250,10 @@ class CrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per 
         overlay = self._overlay
         crashed = set(self._crashed)
         fixed = 0
+        affected: List[int] = []
         for object_id in overlay.object_ids():
             node = overlay.node(object_id)
+            touched = False
             for index, link in enumerate(node.long_links):
                 if link.neighbor in crashed:
                     new_owner = overlay.owner_of(link.target)
@@ -254,15 +261,22 @@ class CrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per 
                     if overlay.config.maintain_back_links:
                         overlay.node(new_owner).add_back_link(object_id, index,
                                                               link.target)
+                    touched = True
                     fixed += 1
             stale = {c for c in node.close_neighbors if c in crashed}
             for close_id in sorted(stale):
                 node.discard_close_neighbor(close_id)
+                touched = True
                 fixed += 1
             dangling_back = {bl for bl in node.back_links if bl.source in crashed}
             if dangling_back:
+                # Back registrations are not routed on — no epoch impact.
                 node.back_links -= dangling_back
                 fixed += len(dangling_back)
-        # Retargeted long links changed forwarding candidates (epoch contract).
-        overlay.invalidate_routing_tables()
+            if touched:
+                affected.append(object_id)
+        # Retargeted links / dropped close entries changed forwarding
+        # candidates (epoch contract); unlike the crash itself, the scrub
+        # knows exactly whose, so the bump is per-shard targeted.
+        overlay.invalidate_routing_tables(affected)
         return fixed

@@ -887,6 +887,29 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
                     wrong.append((object_id, index))
         return wrong
 
+    def _audit_dead_references(self) -> List[Tuple[int, Set[int]]]:
+        """(holder, dead peers) for close/back entries serving departed nodes.
+
+        A crash that lands *mid-repair* — after the detection sweep and
+        the suspicion-driven scrubbing — can leave close entries and back
+        registrations pointing at the victim with no surviving suspicion
+        to blame: heartbeats have stopped, so nothing re-suspects a peer
+        nobody probes anymore.  Long links of that shape are caught by
+        :meth:`_audit_long_links` and stale Voronoi views by
+        :meth:`_audit_views`; this pass completes the audit for the two
+        reference kinds those do not cover.
+        """
+        simulator = self.simulator
+        stale: List[Tuple[int, Set[int]]] = []
+        for object_id in sorted(simulator.nodes):
+            node = simulator.nodes[object_id]
+            dead = {peer for peer in node.close if peer not in simulator.nodes}
+            dead.update(source for source, _index in node.back_links
+                        if source not in simulator.nodes)
+            if dead:
+                stale.append((object_id, dead))
+        return stale
+
     def _audit_views(self) -> List[int]:
         """Ids whose local Voronoi view disagrees with the shared kernel.
 
@@ -921,9 +944,18 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
             if result is None:
                 wrong = self._audit_long_links()
                 stale_views = self._audit_views()
-                if not wrong and not stale_views:
+                dead_refs = self._audit_dead_references()
+                if not wrong and not stale_views and not dead_refs:
                     converged = True
                     break
+                # References serving a departed peer (a crash that landed
+                # mid-repair, past the suspicion machinery): the same
+                # local scrub suspicion would have applied, message-free.
+                for object_id, dead in dead_refs:
+                    node = simulator.nodes.get(object_id)
+                    if node is None:
+                        continue  # crashed while this pass was being sent
+                    node.apply_suspicion(dead)
                 before = simulator.network.messages_sent
                 # Stale views (a lost snapshot with no suspect to blame):
                 # re-send the version-stamped kernel truth — the same

@@ -1,0 +1,70 @@
+"""Contract tests for the unified bench-regression gate.
+
+The gate (``benchmarks/check_bench.py``) derives its floors from the
+committed canonical ``BENCH_*.json`` records at run time, so the registry
+and the records can drift apart silently — a renamed metric, a deleted
+record, a tolerance typo — and the breakage would only surface in CI.
+These tests pin the contract: every registered benchmark has a readable
+canonical record, every gated metric resolves in it, and every tolerance
+derives a floor the canonical run itself would clear.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import check_bench  # noqa: E402
+
+
+@pytest.fixture(params=check_bench.REGISTRY, ids=lambda b: b.name)
+def bench(request):
+    return request.param
+
+
+class TestRegistryContract:
+    def test_canonical_record_exists(self, bench):
+        path = BENCH_DIR / bench.canonical
+        assert path.exists(), f"missing canonical record {bench.canonical}"
+        record = json.loads(path.read_text())
+        assert record.get("benchmark") == bench.name
+
+    def test_gated_metrics_resolve_in_canonical(self, bench):
+        record = json.loads((BENCH_DIR / bench.canonical).read_text())
+        for floor in bench.floors:
+            value = floor.resolve(record)
+            assert value > 0, (bench.name, floor.metric)
+
+    def test_canonical_clears_its_own_floor(self, bench):
+        """floor = canonical x tolerance with tolerance in (0, 1]: the
+        canonical record must trivially pass its own derived bar."""
+        record = json.loads((BENCH_DIR / bench.canonical).read_text())
+        for floor in bench.floors:
+            assert 0.0 < floor.tolerance <= 1.0
+            value = floor.resolve(record)
+            assert value >= value * floor.tolerance
+
+    def test_bench_module_importable_with_main(self, bench):
+        """Every registered module must import and expose ``main(argv)``
+        (the gate calls it in-process rather than shelling out)."""
+        import importlib
+
+        module = importlib.import_module(bench.module)
+        assert callable(getattr(module, "main", None))
+
+
+class TestFloorResolution:
+    def test_nested_metric_paths(self):
+        floor = check_bench.Floor("a.b.c", 0.5)
+        assert floor.resolve({"a": {"b": {"c": 4.0}}}) == 4.0
+        with pytest.raises(KeyError):
+            floor.resolve({"a": {}})
+
+    def test_registry_names_unique(self):
+        names = [b.name for b in check_bench.REGISTRY]
+        assert len(names) == len(set(names))

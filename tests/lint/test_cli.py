@@ -65,7 +65,7 @@ def test_unknown_rule_code_is_a_usage_error(tmp_path, capsys):
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+    for code in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006"):
         assert code in out
 
 

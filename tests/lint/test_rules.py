@@ -479,3 +479,119 @@ def test_sim005_suppressed(tmp_path):
                 self._stats.shadow_counter += 1  # simlint: ignore[SIM005]
     """, select=SIM005)
     assert found == []
+
+
+# ----------------------------------------------------------------------
+# SIM006 — shard epoch contract
+# ----------------------------------------------------------------------
+SIM006 = ["SIM006"]
+CORE = "repro/core/snippet.py"
+
+
+def test_sim006_positive_mutator_call_without_bump(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def integrate(overlay, object_id):
+            node = overlay.node(object_id)
+            node.add_close_neighbor(7)
+    """, name=CORE, select=SIM006)
+    assert found == ["SIM006:3"]
+
+
+def test_sim006_positive_container_mutation_without_bump(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def reset(overlay, object_id):
+            overlay.node(object_id).long_links.clear()
+    """, name=CORE, select=SIM006)
+    assert found == ["SIM006:2"]
+
+
+def test_sim006_positive_branch_missing_bump(tmp_path):
+    # The bump in the if-branch does not cover the else-branch mutation.
+    found = lint_snippet(tmp_path, """\
+        def churn(overlay, node, fast):
+            if fast:
+                node.set_long_link(0, (0.5, 0.5), 3)
+                overlay.invalidate_routing_tables([3])
+            else:
+                node.retarget_long_link(0, 4)
+    """, name=CORE, select=SIM006)
+    assert found == ["SIM006:6"]
+
+
+def test_sim006_negative_bump_after_mutation(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def integrate(overlay, object_id):
+            node = overlay.node(object_id)
+            node.add_close_neighbor(7)
+            overlay.invalidate_routing_tables([object_id, 7])
+    """, name=CORE, select=SIM006)
+    assert found == []
+
+
+def test_sim006_negative_loop_mutation_bump_after_loop(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def register(overlay, node, declared):
+            for neighbor_id in declared:
+                node.add_close_neighbor(neighbor_id)
+            overlay.invalidate_routing_tables(declared)
+    """, name=CORE, select=SIM006)
+    assert found == []
+
+
+def test_sim006_negative_store_bump_discharges(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def surgery(store, node):
+            node.close_neighbors.add(9)
+            store.bump_object_ids([9])
+    """, name=CORE, select=SIM006)
+    assert found == []
+
+
+def test_sim006_negative_back_links_exempt(tmp_path):
+    # BLRn is not routed on: back-link churn needs no invalidation.
+    found = lint_snippet(tmp_path, """\
+        def hand_over(node, source, index, target):
+            node.add_back_link(source, index, target)
+            node.back_links.clear()
+    """, name=CORE, select=SIM006)
+    assert found == []
+
+
+def test_sim006_negative_self_receiver_is_primitive_mutator(tmp_path):
+    # ObjectNode's own mutator bodies cannot reach the overlay; the
+    # contract binds their call sites instead.
+    found = lint_snippet(tmp_path, """\
+        class ObjectNode:
+            def add_close_neighbor(self, object_id):
+                self.close_neighbors.add(object_id)
+    """, name=CORE, select=SIM006)
+    assert found == []
+
+
+def test_sim006_out_of_scope_paths_ignored(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def integrate(overlay, node):
+            node.add_close_neighbor(7)
+    """, name="repro/analysis/snippet.py", select=SIM006)
+    assert found == []
+
+
+def test_sim006_nested_def_checked_separately(tmp_path):
+    # A bump in the enclosing function does not run after the nested
+    # def's mutation; the nested function is held to the contract alone.
+    found = lint_snippet(tmp_path, """\
+        def outer(overlay, node):
+            def worker():
+                node.retarget_long_link(0, 4)
+            overlay.invalidate_routing_tables()
+            return worker
+    """, name=CORE, select=SIM006)
+    assert found == ["SIM006:3"]
+
+
+def test_sim006_suppressed(tmp_path):
+    found = lint_snippet(tmp_path, """\
+        def integrate(overlay, node):
+            node.add_close_neighbor(7)  # simlint: ignore[SIM006]
+    """, name=CORE, select=SIM006)
+    assert found == []
