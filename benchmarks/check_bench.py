@@ -99,6 +99,17 @@ REGISTRY: Tuple[Bench, ...] = (
           # floor at ~25x: far under honest smoke runs, far over the
           # ~1x a broken per-shard invalidation would produce.
           (Floor("rebuild_reduction_at_largest", 0.005),)),
+    Bench("serving", "bench_serving", "BENCH_serving.json",
+          ("--objects", "2500", "--queries", "5000",
+           "--protocol-objects", "200", "--protocol-queries", "600",
+           "--parity-objects", "120", "--parity-queries", "300"),
+          # The exit code already enforces correctness (twin parity, 100%
+          # served).  The floors gate the headline numbers: sustained
+          # oracle-plane throughput (0.05 leaves room for loaded CI
+          # runners; a broken batcher would fall orders of magnitude) and
+          # the uniform-workload success rate tracking canonical 1.0.
+          (Floor("systems.voronet.uniform.wall_qps", 0.05),
+           Floor("systems.voronet.uniform.success_rate", 0.99))),
 )
 
 

@@ -54,11 +54,16 @@ class KleinbergBaseline:
         row, col = divmod(object_id, self._grid.n)
         return ((col + 0.5) / self._grid.n, (row + 0.5) / self._grid.n)
 
-    def route(self, source: int, destination: int) -> GridRouteResult:
+    def route(self, source: int, destination: int, *,
+              record_path: bool = False) -> GridRouteResult:
         """Greedy route between two objects (by their row-major ids)."""
         src = divmod(source, self._grid.n)
         dst = divmod(destination, self._grid.n)
-        return self._grid.greedy_route(src, dst)
+        return self._grid.greedy_route(src, dst, record_path=record_path)
+
+    def node_id(self, coord: Tuple[int, int]) -> int:
+        """Row-major object id of a grid coordinate (inverse of routing coords)."""
+        return coord[0] * self._grid.n + coord[1]
 
     def mean_route_length(self, num_pairs: int,
                           rng: Optional[RandomSource] = None) -> float:

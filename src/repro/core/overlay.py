@@ -76,7 +76,8 @@ from repro.core.long_range import choose_long_range_target, choose_long_range_ta
 from repro.core.maintenance import bulk_integrate_objects, detach_object, integrate_new_object
 from repro.core.neighbors import NeighborView
 from repro.core.node import ObjectNode
-from repro.core.routing import RouteResult, greedy_route, route_to_object
+from repro.core.routing import (RouteResult, greedy_route, missed_route,
+                                route_to_object)
 from repro.core.shards import ShardedNodeStore
 from repro.core.stats import OverlayStats
 from repro.geometry.bounding import UNIT_SQUARE, BoundingBox
@@ -635,14 +636,44 @@ class VoroNet:
         return result
 
     def route_many(self, pairs: Iterable[Tuple[int, Union[int, Point]]], *,
-                   use_long_links: bool = True) -> List[RouteResult]:
+                   use_long_links: bool = True,
+                   missing: str = "raise") -> List[RouteResult]:
         """Route a batch of ``(source, target)`` messages.
 
         The batched form used by the experiment runner for route-length
-        sweeps; results are identical to calling :meth:`route` per pair.
+        sweeps and by the serving layer's traffic drivers; results are
+        identical to calling :meth:`route` per pair.
+
+        ``missing`` selects what happens when a pair references an object
+        that has departed (a schedule sampled before a remove, or churn
+        interleaved with the batch):
+
+        * ``"raise"`` (default) — propagate :class:`ObjectNotFoundError`,
+          the historical sweep behaviour where a departed endpoint means a
+          broken experiment.
+        * ``"miss"`` — answer that pair with the defined miss result of
+          :func:`~repro.core.routing.missed_route` (``success=False``,
+          ``owner=MISS_OWNER``) and keep serving the rest of the batch,
+          the behaviour sustained traffic over a churning overlay needs.
         """
-        return [self.route(source, target, use_long_links=use_long_links)
-                for source, target in pairs]
+        if missing not in ("raise", "miss"):
+            raise ValueError(
+                f'missing must be "raise" or "miss", got {missing!r}')
+        if missing == "raise":
+            return [self.route(source, target, use_long_links=use_long_links)
+                    for source, target in pairs]
+        results: List[RouteResult] = []
+        for source, target in pairs:
+            target_is_id = (isinstance(target, numbers.Integral)
+                            and not isinstance(target, bool))
+            if (int(source) not in self
+                    or (target_is_id and int(target) not in self)):
+                results.append(missed_route(source, target))
+                self._stats.query_misses += 1
+                continue
+            results.append(self.route(source, target,
+                                      use_long_links=use_long_links))
+        return results
 
     def lookup_many(self, points: Iterable[Point],
                     start: Optional[int] = None) -> List[RouteResult]:

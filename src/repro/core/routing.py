@@ -22,6 +22,7 @@ Two termination rules are provided:
 
 from __future__ import annotations
 
+import numbers
 from dataclasses import dataclass
 from typing import List, Optional, TYPE_CHECKING
 
@@ -31,7 +32,8 @@ from repro.geometry.point import Point, distance, distance_sq
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.overlay import VoroNet
 
-__all__ = ["RouteResult", "greedy_route", "route_to_object", "route_with_stopping_rule"]
+__all__ = ["RouteResult", "greedy_route", "missed_route", "route_to_object",
+           "route_with_stopping_rule"]
 
 
 @dataclass
@@ -72,6 +74,33 @@ class RouteResult:
     def messages(self) -> int:
         """Number of point-to-point messages the route costs (one per hop)."""
         return self.hops
+
+
+#: Owner id reported by a :func:`missed_route` result — no object ever
+#: holds a negative id, so a miss can never be mistaken for a real owner.
+MISS_OWNER = -1
+
+
+def missed_route(source: int, target) -> RouteResult:
+    """The defined outcome of a query whose endpoint has departed.
+
+    Sustained traffic over a churning overlay races query batches against
+    remove/insert updates: a schedule sampled up front may reference an
+    object that is gone by the time its query is served.  Production
+    serving must answer such a query with a *miss*, not tear down the whole
+    batch, so :meth:`VoroNet.route_many(missing="miss")
+    <repro.core.overlay.VoroNet.route_many>` maps departed endpoints onto
+    this sentinel result: ``success=False``, ``owner=MISS_OWNER``, zero
+    hops and infinite final distance.  A point target is echoed back; a
+    departed object id has no known coordinates, reported as NaNs.
+    """
+    if isinstance(target, numbers.Integral):
+        point: Point = (float("nan"), float("nan"))
+    else:
+        point = (float(target[0]), float(target[1]))
+    return RouteResult(source=int(source), target=point, owner=MISS_OWNER,
+                       hops=0, success=False, path=None,
+                       final_distance=float("inf"))
 
 
 #: Block size beyond which the cached greedy step uses the numpy argmin

@@ -72,6 +72,10 @@ class OverlayStats:
     close discovery, long-link search) — the protocol-hardening vocabulary
     shared with the message-level simulator's metrics registry.  Both stay
     zero in fault-free runs.
+
+    ``query_misses`` counts batch queries answered with the defined miss
+    result because an endpoint departed before the query was served
+    (``route_many(missing="miss")`` under traffic-time churn).
     """
 
     joins: OperationStats = field(default_factory=OperationStats)
@@ -82,6 +86,7 @@ class OverlayStats:
     routing_table_rebuilds: int = 0
     operation_timeouts: int = 0
     operation_retries: int = 0
+    query_misses: int = 0
 
     def reset(self) -> None:
         """Zero every counter (e.g. between benchmark phases)."""
@@ -93,6 +98,7 @@ class OverlayStats:
         self.routing_table_rebuilds = 0
         self.operation_timeouts = 0
         self.operation_retries = 0
+        self.query_misses = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict summary: per-operation stat dicts plus flat counters.
@@ -109,6 +115,7 @@ class OverlayStats:
             "routing_table_rebuilds": self.routing_table_rebuilds,
             "operation_timeouts": self.operation_timeouts,
             "operation_retries": self.operation_retries,
+            "query_misses": self.query_misses,
         }
 
     def describe(self) -> List[str]:

@@ -836,13 +836,26 @@ class ProtocolNode:
     def _on_query(self, message: Message) -> None:
         payload = message.payload
         target: Point = payload["target"]
+        if "path" in payload:
+            # Path recording for load accounting: the visited list is
+            # shared (not copied) down the forwarding chain — safe because
+            # a query is a single linear chain of custody.
+            payload["path"].append(self.object_id)
         next_hop = self.greedy_next_hop(target)
         if next_hop is not None:
             self.simulator.forward(self, next_hop, message)
             return
-        self.simulator.send(self, payload["requester"], "QUERY_ANSWER",
-                            {"target": target, "owner": self.object_id,
-                             "hops": payload["hops"]})
+        answer = {"target": target, "owner": self.object_id,
+                  "hops": payload["hops"]}
+        # Serving-layer extensions ride along as extra payload fields (the
+        # message-kind budget stays at the pinned 18): the query id lets
+        # many QUERYs contend in flight, the path feeds per-node load
+        # counters.
+        if "query_id" in payload:
+            answer["query_id"] = payload["query_id"]
+        if "path" in payload:
+            answer["path"] = payload["path"]
+        self.simulator.send(self, payload["requester"], "QUERY_ANSWER", answer)
 
     def _on_query_answer(self, message: Message) -> None:
         self.simulator.record_query_answer(message.payload)
@@ -923,6 +936,14 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         self._next_id = 0
         self._last_routing_hops = 0
         self._last_query_answer: Optional[Dict] = None
+        #: Answers of in-flight serving queries, keyed by ``query_id``
+        #: (each stamped with its virtual completion time).
+        self.query_answers: Dict[int, Dict] = {}
+        #: Serving-driver hook: called with each answered query's payload
+        #: as it lands, while the engine is still running — the mechanism
+        #: a closed-loop driver uses to inject the next query and keep a
+        #: fixed number contending in flight.
+        self.on_query_answer: Optional[Callable[[Dict], None]] = None
         self._bulk_owners: Dict[int, int] = {}
         #: Per-operation timeout/retry policy (see :class:`TimeoutPolicy`).
         self.timeouts = timeouts if timeouts is not None else TimeoutPolicy()
@@ -1034,6 +1055,12 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
 
     def record_query_answer(self, payload: Dict) -> None:
         self._last_query_answer = payload
+        query_id = payload.get("query_id")
+        if query_id is not None:
+            payload["completed_at"] = self.engine.now
+            self.query_answers[query_id] = payload
+            if self.on_query_answer is not None:
+                self.on_query_answer(payload)
 
     # ------------------------------------------------------------------
     # membership operations
@@ -1615,6 +1642,34 @@ class ProtocolSimulator:  # simlint: ignore[SIM003] — one per experiment, not 
         self.metrics.observe("query_hops", answer["hops"])
         return QueryReport(target=target, owner=answer["owner"],
                            routing_hops=answer["hops"], messages=messages)
+
+    def start_query(self, target: Point, start: Optional[int] = None, *,
+                    query_id: int, record_path: bool = False) -> int:
+        """Inject one identified query without draining the engine.
+
+        The serving-layer primitive behind genuinely contending traffic:
+        unlike :meth:`query` (inject, drain, read the answer — one query
+        at a time), this only *launches* the query; the caller runs the
+        engine, typically with many queries in flight at once, and
+        collects answers from :attr:`query_answers` (each stamped with its
+        virtual ``completed_at``) or reactively through the
+        :attr:`on_query_answer` hook.  ``record_path`` makes the answer
+        carry the full list of visited nodes for per-node load accounting.
+        Returns the id of the node the query entered the overlay at.
+        """
+        if not self.nodes:
+            raise RuntimeError("the overlay holds no objects")
+        target = (float(target[0]), float(target[1]))
+        if start is None:
+            ids = list(self.nodes)
+            start = ids[self.rng.integer(0, len(ids))]
+        payload: Dict = {"target": target, "requester": start, "hops": 0,
+                         "query_id": query_id}
+        if record_path:
+            payload["path"] = []
+        self.send(self.nodes[start], start, "QUERY", payload)
+        self.metrics.increment("queries")
+        return start
 
     # ------------------------------------------------------------------
     # verification

@@ -4,7 +4,9 @@ The paper's evaluation populates the unit square with 300 000 objects drawn
 from a uniform distribution and from power-law ("sparse") distributions of
 increasing skew (α = 1, 2, 5), then measures routing between random object
 pairs.  This package generates those placements plus the richer workloads
-used by the examples and ablation benchmarks.
+used by the examples and ablation benchmarks, and — for the serving layer
+— the skewed *query-target* samplers of :mod:`repro.workloads.samplers`
+(Zipf popularity, spatial hotspots, flash crowds, moving-object churn).
 """
 
 from repro.workloads.distributions import (
@@ -24,6 +26,14 @@ from repro.workloads.generators import (
     generate_routing_pairs,
 )
 from repro.workloads.churn import ChurnEvent, ChurnTrace, generate_churn_trace
+from repro.workloads.samplers import (
+    FlashCrowdTargets,
+    HotspotTargets,
+    MovingObjects,
+    TargetSampler,
+    UniformTargets,
+    ZipfTargets,
+)
 
 __all__ = [
     "ObjectDistribution",
@@ -41,4 +51,10 @@ __all__ = [
     "ChurnEvent",
     "ChurnTrace",
     "generate_churn_trace",
+    "TargetSampler",
+    "UniformTargets",
+    "ZipfTargets",
+    "HotspotTargets",
+    "FlashCrowdTargets",
+    "MovingObjects",
 ]

@@ -1,0 +1,84 @@
+"""Regression: batched routes targeting departed objects must not crash.
+
+A serving batch is sampled against a snapshot of the population; churn can
+remove a target before the batch executes.  ``route_many(missing="miss")``
+turns that race into a defined miss record instead of an exception.
+"""
+
+import math
+
+import pytest
+
+from repro.core.errors import ObjectNotFoundError
+from repro.core.overlay import VoroNet
+from repro.core.routing import MISS_OWNER, missed_route
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture()
+def overlay():
+    rng = RandomSource(21)
+    net = VoroNet(n_max=128, seed=21)
+    net.bulk_load([tuple(p) for p in rng.generator.uniform(0.05, 0.95, (60, 2))])
+    return net
+
+
+class TestRouteManyMisses:
+    def test_default_still_raises(self, overlay):
+        ids = overlay.object_ids()
+        gone = ids[7]
+        overlay.remove(gone)
+        with pytest.raises(ObjectNotFoundError):
+            overlay.route_many([(ids[0], gone)])
+
+    def test_removed_target_becomes_defined_miss(self, overlay):
+        ids = overlay.object_ids()
+        gone = ids[7]
+        overlay.remove(gone)
+        pairs = [(ids[0], ids[1]), (ids[2], gone), (ids[3], ids[4])]
+        results = overlay.route_many(pairs, missing="miss")
+        assert [r.success for r in results] == [True, False, True]
+        miss = results[1]
+        assert miss.owner == MISS_OWNER
+        assert miss.hops == 0
+        assert math.isinf(miss.final_distance)
+        assert overlay.stats.query_misses == 1
+
+    def test_removed_source_becomes_defined_miss(self, overlay):
+        ids = overlay.object_ids()
+        gone = ids[3]
+        overlay.remove(gone)
+        results = overlay.route_many([(gone, ids[0])], missing="miss")
+        assert not results[0].success
+        assert results[0].owner == MISS_OWNER
+
+    def test_point_targets_never_miss(self, overlay):
+        # Point queries route to whoever owns the region — no id to be
+        # stale — so miss mode must leave them untouched.
+        ids = overlay.object_ids()
+        results = overlay.route_many([(ids[0], (0.4, 0.6))], missing="miss")
+        assert results[0].success
+        assert overlay.stats.query_misses == 0
+
+    def test_miss_mode_matches_raise_mode_for_live_pairs(self, overlay):
+        rng = RandomSource(8)
+        ids = overlay.object_ids()
+        pairs = [(ids[rng.integer(0, len(ids))], ids[rng.integer(0, len(ids))])
+                 for _ in range(25)]
+        strict = overlay.route_many(pairs)
+        lenient = overlay.route_many(pairs, missing="miss")
+        assert ([(r.owner, r.hops) for r in strict]
+                == [(r.owner, r.hops) for r in lenient])
+
+    def test_invalid_mode_rejected(self, overlay):
+        ids = overlay.object_ids()
+        with pytest.raises(ValueError):
+            overlay.route_many([(ids[0], ids[1])], missing="ignore")
+
+    def test_missed_route_helper_shapes(self):
+        by_id = missed_route(4, 9)
+        assert by_id.source == 4
+        assert by_id.owner == MISS_OWNER
+        assert by_id.path is None
+        by_point = missed_route(4, (0.25, 0.75))
+        assert by_point.target == (0.25, 0.75)

@@ -35,7 +35,7 @@ class TestOverlayStats:
         assert set(stats.as_dict()) == {
             "joins", "leaves", "routes", "queries", "long_link_searches",
             "routing_table_rebuilds", "operation_timeouts",
-            "operation_retries"}
+            "operation_retries", "query_misses"}
 
     def test_reset(self):
         stats = OverlayStats()
@@ -53,6 +53,6 @@ class TestOverlayStats:
         stats = OverlayStats()
         stats.routes.record(7, 7)
         lines = stats.describe()
-        assert len(lines) == 8
+        assert len(lines) == 9
         assert any("routes" in line for line in lines)
         assert any("routing_table_rebuilds" in line for line in lines)

@@ -1,0 +1,105 @@
+"""Streaming percentile estimator: exact small, bounded error large."""
+
+import numpy as np
+import pytest
+
+from repro.serving.estimators import StreamingPercentiles
+
+
+class TestExactRegime:
+    """Below the buffer threshold answers must equal numpy.percentile."""
+
+    @pytest.mark.parametrize("size", [1, 2, 7, 100, 511])
+    def test_matches_numpy_exactly(self, size):
+        rng = np.random.default_rng(31)
+        data = rng.lognormal(0.5, 1.0, size)
+        estimator = StreamingPercentiles((0.5, 0.9, 0.99), buffer_size=512)
+        estimator.observe_many(data)
+        assert estimator.exact
+        for q in (0.01, 0.25, 0.5, 0.9, 0.99):
+            assert estimator.quantile(q) == pytest.approx(
+                np.percentile(data, 100 * q), abs=0.0), q
+
+    def test_any_quantile_queryable_while_exact(self):
+        estimator = StreamingPercentiles((0.5,), buffer_size=64)
+        estimator.observe_many(range(10))
+        assert estimator.quantile(0.37) == pytest.approx(
+            np.percentile(np.arange(10), 37))
+
+    def test_summary_keys(self):
+        estimator = StreamingPercentiles((0.5, 0.9, 0.99), buffer_size=64)
+        estimator.observe_many([1.0, 2.0, 3.0])
+        summary = estimator.summary()
+        assert set(summary) == {"count", "p50", "p90", "p99"}
+        assert summary["count"] == 3.0
+
+
+class TestP2Regime:
+    """Above the threshold: bounded relative error, O(1) memory."""
+
+    def test_promotion_happens_at_threshold(self):
+        estimator = StreamingPercentiles((0.5,), buffer_size=32)
+        estimator.observe_many(range(31))
+        assert estimator.exact
+        estimator.observe(31.0)
+        assert not estimator.exact
+        assert estimator.count == 32
+
+    @pytest.mark.parametrize("dist,params", [
+        ("lognormal", (1.0, 0.8)),
+        ("exponential", (3.0,)),
+        ("normal", (50.0, 9.0)),
+    ])
+    def test_bounded_relative_error(self, dist, params):
+        rng = np.random.default_rng(97)
+        data = getattr(rng, dist)(*params, 30_000)
+        data = np.abs(data) + 1.0  # keep values positive for relative error
+        estimator = StreamingPercentiles((0.5, 0.9, 0.99), buffer_size=256)
+        estimator.observe_many(data)
+        for q in (0.5, 0.9, 0.99):
+            true = np.percentile(data, 100 * q)
+            estimate = estimator.quantile(q)
+            assert estimate == pytest.approx(true, rel=0.05), (dist, q)
+
+    def test_untracked_quantile_raises_after_promotion(self):
+        estimator = StreamingPercentiles((0.5,), buffer_size=16)
+        estimator.observe_many(range(100))
+        with pytest.raises(KeyError):
+            estimator.quantile(0.9)
+
+    def test_deterministic_for_same_stream(self):
+        rng = np.random.default_rng(5)
+        data = rng.exponential(2.0, 5000)
+        results = []
+        for _ in range(2):
+            estimator = StreamingPercentiles((0.9,), buffer_size=64)
+            estimator.observe_many(data)
+            results.append(estimator.quantile(0.9))
+        assert results[0] == results[1]
+
+    def test_integer_hop_counts(self):
+        # The serving layer's main use: small discrete hop counts.
+        rng = np.random.default_rng(17)
+        hops = rng.poisson(8.0, 20_000).astype(float)
+        estimator = StreamingPercentiles((0.5, 0.99), buffer_size=512)
+        estimator.observe_many(hops)
+        assert estimator.quantile(0.5) == pytest.approx(
+            np.percentile(hops, 50), abs=1.0)
+        assert estimator.quantile(0.99) == pytest.approx(
+            np.percentile(hops, 99), abs=1.5)
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            StreamingPercentiles((0.5,), buffer_size=4)
+        with pytest.raises(ValueError):
+            StreamingPercentiles(())
+        with pytest.raises(ValueError):
+            StreamingPercentiles((1.5,))
+
+    def test_empty_estimator(self):
+        estimator = StreamingPercentiles((0.5,))
+        with pytest.raises(ValueError):
+            estimator.quantile(0.5)
+        assert estimator.summary() == {"count": 0.0}
