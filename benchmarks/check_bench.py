@@ -110,6 +110,15 @@ REGISTRY: Tuple[Bench, ...] = (
           # the uniform-workload success rate tracking canonical 1.0.
           (Floor("systems.voronet.uniform.wall_qps", 0.05),
            Floor("systems.voronet.uniform.success_rate", 0.99))),
+    Bench("partition_merge", "bench_partition_merge",
+          "BENCH_partition_merge.json",
+          ("--objects", "48", "--queries-per-side", "6"),
+          # The exit code already enforces the hard bar (every scenario
+          # converged, oracle/routing parity, zero stable-phase misses);
+          # the floors pin the two headline metrics against the
+          # canonical record so a silently weakened matrix still fails.
+          (Floor("converged_fraction", 1.0),
+           Floor("stable_success_rate_min", 1.0))),
 )
 
 

@@ -199,6 +199,18 @@ class DelaunayTriangulation:
         """
         return self._version
 
+    def advance_version(self, minimum: int) -> None:
+        """Raise the structure version to at least ``minimum``.
+
+        Used when this triangulation supersedes forks that mutated (and
+        so version-advanced) independently — e.g. the union kernel built
+        on partition heal must dominate every side's partial order so its
+        version-stamped view snapshots win at every node.  Never lowers
+        the version (monotonicity is the whole contract).
+        """
+        if minimum > self._version:
+            self._version = minimum
+
     # ------------------------------------------------------------------
     # triangle bookkeeping
     # ------------------------------------------------------------------

@@ -54,10 +54,24 @@ timeouts with idempotent, version-stamped retries under a
 ``TimeoutPolicy``; a node dying mid-conversation surfaces as a
 ``timed_out`` outcome instead of wedging the protocol.
 :mod:`repro.simulation.fuzz` turns the simulator's determinism into a
-Jepsen-style harness: ``CrashScheduleFuzzer`` crashes a victim at an
-exact global message index and asserts convergence back to clean views,
-with every failure replayable from its ``(seed, message_index,
-victim_rank)`` triple (see ``TESTING.md``).
+Jepsen-style harness: ``CrashScheduleFuzzer`` crashes victims at exact
+global message indices — multi-crash sequences and partition windows
+armed the same way — and asserts convergence back to clean views, with
+every failure replayable from its serialized ``FuzzTrace`` (the classic
+single-crash ``(seed, message_index, victim_rank)`` triple is the
+one-event special case; see ``TESTING.md``).
+
+Partitions and merge
+--------------------
+:mod:`repro.simulation.merge` completes the WAN story: a ``FaultPlane``
+``split`` cuts the message plane k ways while ``PartitionRuntime`` forks
+the substrate per side, so **every** side keeps serving queries and
+accepting inserts against its own tessellation; on heal, the union
+kernel is rebuilt deterministically (lowest-id wins coordinate and
+published-id collisions) and ``MergeProtocol`` floods version-stamped
+``MERGE_DIGEST`` anti-entropy across the healed cut until views verify
+clean.  ``ProtocolMergeHarness`` drives the scenario matrix (k-way,
+asymmetric, flapping) with per-side availability accounting.
 """
 
 from repro.simulation.engine import SimulationEngine, Watchdog
@@ -70,7 +84,13 @@ from repro.simulation.network import (
 )
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.trace import TraceRecorder
-from repro.simulation.failures import ChurnScheduler, CrashDamageReport, CrashInjector
+from repro.simulation.failures import (
+    ChurnScheduler,
+    CrashDamageReport,
+    CrashInjector,
+    PartitionDamageReport,
+    assess_partition_damage,
+)
 from repro.simulation.faults import (
     FaultDecision,
     FaultPlane,
@@ -82,12 +102,24 @@ from repro.simulation.faults import (
     ProtocolCrashInjector,
     RepairProtocol,
     RepairReport,
+    SplitSpec,
 )
 from repro.simulation.fuzz import (
+    CrashEvent,
     CrashSchedule,
     CrashScheduleFuzzer,
     FuzzOutcome,
     FuzzSweepReport,
+    FuzzTrace,
+    PartitionEvent,
+)
+from repro.simulation.merge import (
+    HealSummary,
+    MergeHarnessReport,
+    MergeProtocol,
+    MergeReport,
+    PartitionRuntime,
+    ProtocolMergeHarness,
 )
 from repro.simulation.protocol import (
     BulkJoinReport,
@@ -111,24 +143,36 @@ __all__ = [
     "ChurnScheduler",
     "CrashDamageReport",
     "CrashInjector",
+    "PartitionDamageReport",
+    "assess_partition_damage",
     "FaultDecision",
     "FaultPlane",
     "HeartbeatConfig",
     "HeartbeatDetector",
     "PartitionSpec",
+    "SplitSpec",
     "ProtocolChurnHarness",
     "ProtocolChurnReport",
     "ProtocolCrashInjector",
     "RepairProtocol",
     "RepairReport",
+    "HealSummary",
+    "MergeHarnessReport",
+    "MergeProtocol",
+    "MergeReport",
+    "PartitionRuntime",
+    "ProtocolMergeHarness",
     "ProtocolSimulator",
     "BulkJoinReport",
     "JoinReport",
     "LeaveReport",
     "QueryReport",
     "TimeoutPolicy",
+    "CrashEvent",
     "CrashSchedule",
     "CrashScheduleFuzzer",
     "FuzzOutcome",
     "FuzzSweepReport",
+    "FuzzTrace",
+    "PartitionEvent",
 ]

@@ -14,13 +14,16 @@ Two injectors drive dynamism experiments:
 Both injectors speak the *oracle* overlay.  The message-level counterpart —
 crash/loss/partition injection through the network layer, heartbeat failure
 detection and the self-healing repair protocol — lives in
-:mod:`repro.simulation.faults`.
+:mod:`repro.simulation.faults`.  :func:`assess_partition_damage` is the
+shared census both the fault harnesses and the partition-merge runtime
+(:mod:`repro.simulation.merge`) use to quantify cross-side divergence in
+the same stale-reference terms as :class:`CrashDamageReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.overlay import VoroNet
 from repro.geometry.point import Point
@@ -29,7 +32,8 @@ from repro.simulation.events import Event
 from repro.utils.rng import RandomSource
 from repro.workloads.distributions import ObjectDistribution, UniformDistribution
 
-__all__ = ["ChurnScheduler", "CrashInjector", "CrashDamageReport"]
+__all__ = ["ChurnScheduler", "CrashInjector", "CrashDamageReport",
+           "PartitionDamageReport", "assess_partition_damage"]
 
 
 class ChurnScheduler:  # simlint: ignore[SIM003] — one per experiment, not per message
@@ -280,3 +284,78 @@ class CrashInjector:  # simlint: ignore[SIM003] — one per experiment, not per 
         # knows exactly whose, so the bump is per-shard targeted.
         overlay.invalidate_routing_tables(affected)
         return fixed
+
+
+@dataclass(frozen=True)
+class PartitionDamageReport:
+    """Cross-side divergence census during (or after) a network split.
+
+    The partition analogue of :class:`CrashDamageReport`: instead of
+    references to *crashed* peers it counts references that cross the cut
+    — entries each side must scrub while split (the peer is unreachable
+    and presumed dead) and the merge protocol must restore on heal.
+    ``boundary_objects`` is how many live objects hold at least one
+    cross-side reference: the population the anti-entropy flood starts
+    from.
+    """
+
+    sides: int
+    cross_voronoi_entries: int
+    cross_close_entries: int
+    cross_long_links: int
+    cross_back_links: int
+    boundary_objects: int
+
+    @property
+    def total_cross_references(self) -> int:
+        return (self.cross_voronoi_entries + self.cross_close_entries
+                + self.cross_long_links + self.cross_back_links)
+
+
+def assess_partition_damage(nodes: Dict[int, object],
+                            side_of: Callable[[int], Optional[int]],
+                            ) -> PartitionDamageReport:
+    """Count the cross-side references a split leaves in protocol views.
+
+    ``nodes`` maps live object ids to protocol nodes (``voronoi`` /
+    ``close`` / ``long_links`` / ``back_links`` attributes, the
+    :class:`~repro.simulation.protocol.ProtocolNode` shape);``side_of``
+    returns a node's side index or ``None`` for unassigned ids (which
+    never count as cross-side, matching ``SplitSpec.separates``).  Used
+    by the merge harness both to measure divergence right after a split
+    opens and to assert the per-side repairs scrubbed every cross
+    reference before heal.
+    """
+    sides = set()
+    cross_voronoi = cross_close = cross_long = cross_back = 0
+    boundary = 0
+    for object_id in sorted(nodes):
+        node = nodes[object_id]
+        own_side = side_of(object_id)
+        if own_side is not None:
+            sides.add(own_side)
+        if own_side is None:
+            continue
+
+        def crosses(peer: int) -> bool:
+            peer_side = side_of(peer)
+            return peer_side is not None and peer_side != own_side  # noqa: B023
+
+        voronoi = sum(1 for peer in node.voronoi
+                      if peer != object_id and crosses(peer))
+        close = sum(1 for peer in node.close if crosses(peer))
+        longs = sum(1 for link in node.long_links
+                    if link.neighbor != object_id and crosses(link.neighbor))
+        backs = sum(1 for source, _index in node.back_links if crosses(source))
+        cross_voronoi += voronoi
+        cross_close += close
+        cross_long += longs
+        cross_back += backs
+        if voronoi or close or longs or backs:
+            boundary += 1
+    return PartitionDamageReport(sides=len(sides),
+                                 cross_voronoi_entries=cross_voronoi,
+                                 cross_close_entries=cross_close,
+                                 cross_long_links=cross_long,
+                                 cross_back_links=cross_back,
+                                 boundary_objects=boundary)

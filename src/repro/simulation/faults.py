@@ -79,6 +79,7 @@ __all__ = [
     "FaultDecision",
     "FaultPlane",
     "PartitionSpec",
+    "SplitSpec",
     "ProtocolCrashInjector",
     "HeartbeatConfig",
     "HeartbeatDetector",
@@ -125,6 +126,87 @@ class PartitionSpec:
         return (sender in self.members) != (recipient in self.members)
 
 
+class SplitSpec:  # simlint: ignore[SIM003] — one per partition event, not per message
+    """A k-way network split with explicit side membership.
+
+    Unlike :class:`PartitionSpec` (one group cut off from *everyone*),
+    a split names every side: traffic within a side flows, traffic
+    between any two different sides is cut while the window is active.
+    Nodes joining mid-split are assigned a side with :meth:`assign`, so
+    side membership tracks the population the merge protocol must
+    reconcile.
+
+    ``in_flight`` pins the semantics for messages already travelling when
+    a window opens (see ``TESTING.md`` "Partitions & merge"):
+
+    * ``"deliver"`` (default): the fault decision is made at *send* time
+      only — a message sent before the window opens is a packet already
+      on the wire and is delivered even if its delivery lands mid-split.
+    * ``"cut"``: delivery-time enforcement — a cross-side message whose
+      delivery would land inside the window is dropped too.
+    """
+
+    __slots__ = ("sides", "start", "end", "in_flight", "_side_of", "healed")
+
+    def __init__(self, sides: Sequence[Sequence[int]], start: float,
+                 end: float, *, in_flight: str = "deliver") -> None:
+        if end < start:
+            raise ValueError(f"split window ends before it starts: "
+                             f"[{start}, {end})")
+        if in_flight not in ("deliver", "cut"):
+            raise ValueError(f"in_flight must be 'deliver' or 'cut', "
+                             f"got {in_flight!r}")
+        if len(sides) < 2:
+            raise ValueError("a split needs at least two sides")
+        self.sides: List[Set[int]] = [set(side) for side in sides]
+        self._side_of: Dict[int, int] = {}
+        for index, side in enumerate(self.sides):
+            for object_id in side:
+                if object_id in self._side_of:
+                    raise ValueError(f"object {object_id} appears on "
+                                     f"two sides of the split")
+                self._side_of[object_id] = index
+        self.start = float(start)
+        self.end = float(end)
+        self.in_flight = in_flight
+        self.healed = False
+
+    def __repr__(self) -> str:
+        sizes = "/".join(str(len(side)) for side in self.sides)
+        return (f"SplitSpec(sides={sizes}, start={self.start!r}, "
+                f"end={self.end!r}, in_flight={self.in_flight!r})")
+
+    def active(self, now: float) -> bool:
+        return not self.healed and self.start <= now < self.end
+
+    def side_of(self, object_id: int) -> Optional[int]:
+        """Side index of ``object_id``, or ``None`` if unassigned."""
+        return self._side_of.get(object_id)
+
+    def assign(self, object_id: int, side: int) -> None:
+        """Place a split-era joiner on ``side`` (idempotent re-assign is an error)."""
+        if not 0 <= side < len(self.sides):
+            raise ValueError(f"no side {side} in a {len(self.sides)}-way split")
+        current = self._side_of.get(object_id)
+        if current is not None and current != side:
+            raise ValueError(f"object {object_id} already on side {current}")
+        self.sides[side].add(object_id)
+        self._side_of[object_id] = side
+
+    def separates(self, sender: int, recipient: int) -> bool:
+        """True when both endpoints are assigned and sit on different sides.
+
+        Unassigned endpoints (objects that predate the split machinery or
+        external observers) are never cut — the split only severs traffic
+        between *known* sides, matching how a WAN partition separates
+        whole sites rather than individual flows.
+        """
+        sender_side = self._side_of.get(sender)
+        recipient_side = self._side_of.get(recipient)
+        return (sender_side is not None and recipient_side is not None
+                and sender_side != recipient_side)
+
+
 class FaultPlane:
     """Message-level fault injection for the protocol simulator.
 
@@ -150,7 +232,8 @@ class FaultPlane:
         latency drawn uniformly from ``delay_range``.
     """
 
-    __slots__ = ("_rng", "seed", "_crashed", "_partitions",
+    __slots__ = ("_rng", "seed", "_crashed", "_partitions", "_splits",
+                 "_heal_hooks", "in_flight_cuts",
                  "loss_probability", "delay_probability", "delay_range",
                  "decisions", "drops_by_reason")
 
@@ -165,6 +248,12 @@ class FaultPlane:
         self.seed = seed
         self._crashed: Set[int] = set()
         self._partitions: List[PartitionSpec] = []
+        self._splits: List[SplitSpec] = []
+        self._heal_hooks: List = []
+        #: Count of live specs with delivery-time (``in_flight="cut"``)
+        #: enforcement — the network's send hot path only consults
+        #: :meth:`cuts_in_flight` when this is non-zero.
+        self.in_flight_cuts = 0
         self.set_loss(loss_probability)
         self.set_delay(delay_probability, delay_range)
         self.decisions = 0
@@ -219,10 +308,63 @@ class FaultPlane:
         self._partitions.append(spec)
         return spec
 
+    def split(self, sides: Sequence[Sequence[int]], start: float,
+              end: float = math.inf, *,
+              in_flight: str = "deliver") -> SplitSpec:
+        """Open a k-way split: traffic between different ``sides`` is cut.
+
+        Returns the :class:`SplitSpec`, whose :meth:`~SplitSpec.assign`
+        tracks split-era joiners.  ``end`` defaults to +inf — a split is
+        normally closed explicitly via :meth:`heal_partitions` (which
+        fires the registered heal hooks) rather than by the clock.
+        """
+        spec = SplitSpec(sides, start, end, in_flight=in_flight)
+        self._splits.append(spec)
+        if in_flight == "cut":
+            self.in_flight_cuts += 1
+        return spec
+
+    def active_split(self, now: float) -> Optional[SplitSpec]:
+        """The first split whose window covers ``now``, if any."""
+        for spec in self._splits:
+            if spec.active(now):
+                return spec
+        return None
+
+    def side_of(self, object_id: int, now: float) -> Optional[int]:
+        """Side of ``object_id`` under the split active at ``now``."""
+        spec = self.active_split(now)
+        return None if spec is None else spec.side_of(object_id)
+
+    def on_heal(self, hook) -> None:
+        """Register ``hook(spec)`` to fire when a split/partition heals.
+
+        Hooks fire once per healed spec, in registration order, from
+        :meth:`heal_partitions` — the explicit heal path.  Windows that
+        merely expire on the virtual clock are passive (pruned on the
+        ``decide`` hot path without firing hooks); drive the heal
+        explicitly when merge bookkeeping must run.
+        """
+        self._heal_hooks.append(hook)
+
     def heal_partitions(self) -> int:
-        """Drop every partition spec; returns how many were active or pending."""
-        count = len(self._partitions)
+        """Drop every partition/split spec; returns how many were open.
+
+        Fires the :meth:`on_heal` hooks for each dropped spec so higher
+        layers (the merge runtime) can start anti-entropy bookkeeping at
+        the moment connectivity returns.
+        """
+        count = len(self._partitions) + len(self._splits)
+        healed: List = list(self._partitions) + list(self._splits)
         self._partitions.clear()
+        for spec in self._splits:
+            spec.healed = True
+            if spec.in_flight == "cut":
+                self.in_flight_cuts -= 1
+        self._splits.clear()
+        for spec in healed:
+            for hook in self._heal_hooks:
+                hook(spec)
         return count
 
     # ------------------------------------------------------------------
@@ -244,6 +386,18 @@ class FaultPlane:
                 if spec.active(now) and spec.separates(message.sender,
                                                        message.recipient):
                     return self._drop("partition")
+        if self._splits:
+            expired = [spec for spec in self._splits if spec.end <= now]
+            if expired:
+                for spec in expired:
+                    if spec.in_flight == "cut":
+                        self.in_flight_cuts -= 1
+                self._splits = [spec for spec in self._splits
+                                if spec.end > now]
+            for spec in self._splits:
+                if spec.active(now) and spec.separates(message.sender,
+                                                       message.recipient):
+                    return self._drop("partition")
         if self.loss_probability > 0.0 and self._rng.uniform() < self.loss_probability:
             return self._drop("loss")
         if self.delay_probability > 0.0 and self._rng.uniform() < self.delay_probability:
@@ -251,6 +405,23 @@ class FaultPlane:
             return FaultDecision(deliver=True, reason="delayed",
                                  extra_delay=self._rng.uniform(low, high))
         return _DELIVER
+
+    def cuts_in_flight(self, message: Message, delivery_time: float) -> bool:
+        """Delivery-time check for ``in_flight="cut"`` windows.
+
+        Called by the network *after* the send-time :meth:`decide` said
+        deliver, with the computed delivery timestamp: a cross-side
+        message landing inside a cut-mode window is dropped even though
+        it was sent before the window opened.  Only consulted while
+        :attr:`in_flight_cuts` is non-zero, keeping the default
+        (send-time-only) semantics free on the hot path.
+        """
+        for spec in self._splits:
+            if (spec.in_flight == "cut" and spec.active(delivery_time)
+                    and spec.separates(message.sender, message.recipient)):
+                self._drop("partition_in_flight")
+                return True
+        return False
 
     def _drop(self, reason: str) -> FaultDecision:
         self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
@@ -762,27 +933,44 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
 
     def __init__(self, simulator: ProtocolSimulator, *,
                  detector: Optional[HeartbeatDetector] = None,
-                 max_rounds: int = 8) -> None:
+                 max_rounds: int = 8,
+                 scope: Optional[Set[int]] = None) -> None:
         self.simulator = simulator
         self.detector = detector if detector is not None \
             else HeartbeatDetector(simulator)
         self.max_rounds = max_rounds
+        #: Optional id set this repairer confines itself to.  A scoped
+        #: repairer (one side of a network split healing against its own
+        #: kernel fork) only probes, scrubs, retargets and audits members
+        #: of the scope; unscoped behaviour is byte-identical to before
+        #: the parameter existed.
+        self.scope = frozenset(scope) if scope is not None else None
         self._reissued = 0
         self._reissue_attempts: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
+    def _members(self) -> List[int]:
+        """Live ids this repairer is responsible for, in id order."""
+        nodes = self.simulator.nodes
+        if self.scope is None:
+            return sorted(nodes)
+        return sorted(object_id for object_id in self.scope
+                      if object_id in nodes)
+
     def _holders(self) -> List[int]:
-        """Live nodes with a non-empty suspect list, in id order."""
-        return sorted(object_id for object_id, node in self.simulator.nodes.items()
-                      if node.suspects)
+        """Live in-scope nodes with a non-empty suspect list, in id order."""
+        nodes = self.simulator.nodes
+        return [object_id for object_id in self._members()
+                if nodes[object_id].suspects]
 
     def repair_round(self) -> Optional[Dict[str, int]]:
         """Run one phased repair round; ``None`` when nothing is suspected."""
         simulator = self.simulator
         network = simulator.network
+        members = self._members()
         holders = self._holders()
-        rehabilitation_pending = any(node.rehabilitated
-                                     for node in simulator.nodes.values())
+        rehabilitation_pending = any(simulator.nodes[object_id].rehabilitated
+                                     for object_id in members)
         if not holders and not rehabilitation_pending:
             return None
         phase_messages: Dict[str, int] = {}
@@ -835,11 +1023,13 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
             kernel = simulator.kernel
             degenerate = len(kernel) <= 8 or not kernel.has_triangulation
             if degenerate:
-                affected = sorted(simulator.nodes)
+                affected = [object_id for object_id in members
+                            if object_id in kernel]
             else:
-                affected = sorted(object_id
-                                  for object_id, node in simulator.nodes.items()
-                                  if suspected_set & set(node.voronoi))
+                affected = [object_id for object_id in members
+                            if object_id in kernel
+                            and suspected_set
+                            & set(simulator.nodes[object_id].voronoi)]
             version = kernel.version
             for object_id in affected:
                 if object_id not in simulator.nodes:
@@ -864,7 +1054,7 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
             # needs only O(1) deliveries to land.
             before = network.messages_sent
             reissued = 0
-            for object_id in sorted(simulator.nodes):
+            for object_id in members:
                 node = simulator.nodes.get(object_id)
                 if node is None:
                     continue  # crashed while this phase was being sent
@@ -887,7 +1077,7 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         # emptied the suspect list that would otherwise select the node.
         before = network.messages_sent
         d_min = simulator.config.effective_d_min
-        for object_id in sorted(simulator.nodes):
+        for object_id in members:
             node = simulator.nodes.get(object_id)
             if node is None:
                 continue  # crashed while this phase was being sent
@@ -909,8 +1099,10 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         phase_messages["close"] = network.messages_sent - before
 
         # ---- GC: drop suspicion no surviving reference supports ---------
-        for node in simulator.nodes.values():
-            node.gc_suspects()
+        for object_id in members:
+            node = simulator.nodes.get(object_id)
+            if node is not None:
+                node.gc_suspects()
         simulator.trace.record(simulator.engine.now, "repair_round",
                                suspects=len(suspected),
                                messages=sum(phase_messages.values()))
@@ -926,10 +1118,14 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         """
         simulator = self.simulator
         wrong: List[Tuple[int, int]] = []
-        for object_id in sorted(simulator.nodes):
+        for object_id in self._members():
             node = simulator.nodes[object_id]
             for index, link in enumerate(node.long_links):
-                if link.neighbor not in simulator.nodes:
+                if (link.neighbor not in simulator.nodes
+                        or link.neighbor not in simulator.kernel):
+                    # Dead endpoint — or one outside this repairer's
+                    # kernel (a cross-side link under a scoped, split-era
+                    # repair): either way the link cannot stand.
                     wrong.append((object_id, index))
                     continue
                 owner = simulator.kernel.nearest_vertex(link.target,
@@ -951,12 +1147,19 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         reference kinds those do not cover.
         """
         simulator = self.simulator
+        scope = self.scope
         stale: List[Tuple[int, Set[int]]] = []
-        for object_id in sorted(simulator.nodes):
+        for object_id in self._members():
             node = simulator.nodes[object_id]
-            dead = {peer for peer in node.close if peer not in simulator.nodes}
+            # Under a scoped (split-era) repair, peers outside the scope
+            # are presumed dead by this side even though their node
+            # objects survive on the other side of the cut.
+            dead = {peer for peer in node.close
+                    if peer not in simulator.nodes
+                    or (scope is not None and peer not in scope)}
             dead.update(source for source, _index in node.back_links
-                        if source not in simulator.nodes)
+                        if source not in simulator.nodes
+                        or (scope is not None and source not in scope))
             if dead:
                 stale.append((object_id, dead))
         return stale
@@ -974,8 +1177,9 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         """
         simulator = self.simulator
         kernel = simulator.kernel
-        return [object_id for object_id in sorted(simulator.nodes)
-                if set(simulator.nodes[object_id].voronoi)
+        return [object_id for object_id in self._members()
+                if object_id in kernel
+                and set(simulator.nodes[object_id].voronoi)
                 != set(kernel.neighbors(object_id))]
 
     def repair(self, max_rounds: Optional[int] = None) -> RepairReport:
@@ -989,8 +1193,8 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         rounds = 0
         converged = False
         while rounds < cap:
-            for node in simulator.nodes.values():
-                processed.update(node.suspects)
+            for object_id in self._members():
+                processed.update(simulator.nodes[object_id].suspects)
             result = self.repair_round()
             if result is None:
                 wrong = self._audit_long_links()
@@ -1042,8 +1246,8 @@ class RepairProtocol:  # simlint: ignore[SIM003] — one per experiment, not per
         else:
             converged = (not self._holders() and not self._audit_long_links()
                          and not self._audit_views())
-        residual = sum(len(node.suspects)
-                       for node in simulator.nodes.values())
+        residual = sum(len(simulator.nodes[object_id].suspects)
+                       for object_id in self._members())
         return RepairReport(rounds=rounds, converged=converged,
                             suspects_processed=len(processed),
                             reissued_long_links=self._reissued,

@@ -272,6 +272,18 @@ class ProtocolNode:
     #: even once its suspect list is empty; the repair round clears the
     #: set after re-discovering.
     rehabilitated: Set[int] = field(default_factory=set)
+    #: Externally published identity.  Normally ``None`` (the object id is
+    #: the identity); objects inserted *during* a network split publish a
+    #: side-local id drawn from the id space both sides believe is next —
+    #: the collision the merge protocol resolves deterministically on heal
+    #: (lowest object id keeps the claim, losers are re-assigned from the
+    #: healed allocator).
+    published_id: Optional[int] = None
+    #: Newest merge epoch this node has reconciled (``MERGE_DIGEST``
+    #: handling).  The epoch guard is what terminates the epidemic flood:
+    #: a node hearing a digest for an epoch it already processed stays
+    #: silent instead of re-flooding.
+    merge_epoch: int = -1
     _block_epoch: int = field(default=-1, repr=False, init=False)
     _block: Optional[List[Tuple[int, float, float]]] = field(default=None, repr=False,
                                                              init=False)
@@ -847,10 +859,10 @@ class ProtocolNode:
             return
         answer = {"target": target, "owner": self.object_id,
                   "hops": payload["hops"]}
-        # Serving-layer extensions ride along as extra payload fields (the
-        # message-kind budget stays at the pinned 18): the query id lets
-        # many QUERYs contend in flight, the path feeds per-node load
-        # counters.
+        # Serving-layer extensions ride along as extra payload fields (no
+        # new message kind — the pinned kind set only grows for genuinely
+        # new protocol phases): the query id lets many QUERYs contend in
+        # flight, the path feeds per-node load counters.
         if "query_id" in payload:
             answer["query_id"] = payload["query_id"]
         if "path" in payload:
@@ -859,6 +871,81 @@ class ProtocolNode:
 
     def _on_query_answer(self, message: Message) -> None:
         self.simulator.record_query_answer(message.payload)
+
+    # ---------------- partition merge (anti-entropy) -------------------
+    def _on_merge_digest(self, message: Message) -> None:
+        """Epidemic anti-entropy after a partition heals.
+
+        A version-stamped digest floods outward from the boundary nodes
+        of the healed cut (:class:`~repro.simulation.merge.MergeProtocol`
+        seeds it).  Each node, once per merge epoch: refreshes its region
+        view from the reconciled union tessellation (the version stamp
+        dominates every side's fork, so the standard monotonicity guard
+        accepts it), exonerates peers it presumed dead during the split,
+        re-runs close discovery across the healed cut, then re-floods the
+        digest to its *refreshed* neighbours — the epidemic
+        neighbour-notify shape, terminated by the epoch guard — and acks
+        the sender with ``MERGE_RECONCILE``.
+        """
+        payload = message.payload
+        epoch = payload["epoch"]
+        if self.merge_epoch >= epoch:
+            return  # already reconciled this heal; the epidemic stops here
+        self.merge_epoch = epoch
+        simulator = self.simulator
+        kernel = simulator.kernel
+        changed = False
+        version = payload["version"]
+        if version >= self.view_version and self.object_id in kernel:
+            self.voronoi = {nid: kernel.point(nid)
+                            for nid in kernel.neighbors(self.object_id)}
+            self.view_version = version
+            changed = True
+        # Split-era suspicion presumed the other side dead; every suspect
+        # the healed membership still carries is alive after all.  Move
+        # them to ``rehabilitated`` so the repair protocol's close
+        # re-discovery also revisits this node.
+        survivors = {peer for peer in self.suspects if peer in simulator.nodes}
+        if survivors:
+            self.suspects -= survivors
+            self.rehabilitated |= survivors
+            for peer in sorted(survivors):
+                self.missed_heartbeats.pop(peer, None)
+        # Close re-discovery across the healed cut (the repair close-phase
+        # idiom): suspicion scrubbed cross-side close entries; the grid
+        # consult restores any peer back inside the d_min disc.
+        d_min = simulator.config.effective_d_min
+        for close_id in simulator.locate.within(self.position, d_min):
+            if (close_id == self.object_id or close_id in self.close
+                    or close_id not in simulator.nodes):
+                continue
+            self.close[close_id] = simulator.nodes[close_id].position
+            simulator.send(self, close_id, "CLOSE_DECLARE",
+                           {"position": self.position})
+            changed = True
+        for neighbor in sorted(self.voronoi):
+            if neighbor != self.object_id:
+                simulator.send(self, neighbor, "MERGE_DIGEST", payload)
+        simulator.send(self, message.sender, "MERGE_RECONCILE",
+                       {"epoch": epoch, "version": self.view_version})
+        if changed:
+            self.touch_view()
+
+    def _on_merge_reconcile(self, message: Message) -> None:
+        """Ack leg of the merge anti-entropy exchange.
+
+        The ack is itself liveness evidence (the sender is reachable
+        again) and carries the epoch: a node that never saw the digest —
+        every copy addressed to it was lost — is pulled into the epoch by
+        its own ack traffic, making the exchange bidirectional.
+        """
+        peer = message.sender
+        self.missed_heartbeats.pop(peer, None)
+        if peer in self.suspects:
+            self.suspects.discard(peer)
+            self.rehabilitated.add(peer)
+        if self.merge_epoch < message.payload["epoch"]:
+            self._on_merge_digest(message)
 
 
 # ----------------------------------------------------------------------

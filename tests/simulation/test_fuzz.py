@@ -23,8 +23,11 @@ from repro.simulation.faults import (
     RepairProtocol,
 )
 from repro.simulation.fuzz import (
+    CrashEvent,
     CrashSchedule,
     CrashScheduleFuzzer,
+    FuzzTrace,
+    PartitionEvent,
     main,
 )
 from repro.simulation.protocol import ProtocolSimulator
@@ -108,6 +111,116 @@ class TestReplayDeterminism:
         assert report.converged, [f.schedule.as_triple()
                                   for f in report.failures]
         assert report.crashes_fired > 0
+
+
+# ----------------------------------------------------------------------
+# trace language: multi-crash sequences + message-indexed partitions
+# ----------------------------------------------------------------------
+class TestFuzzTrace:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            CrashEvent(at_message=0)
+        with pytest.raises(ValueError):
+            CrashEvent(at_message=5, victim_rank=-1)
+        with pytest.raises(ValueError):
+            CrashEvent(at_message=5, victim="the-sender")
+        with pytest.raises(ValueError):
+            PartitionEvent(at_message=0)
+        with pytest.raises(ValueError):
+            PartitionEvent(at_message=5, fraction=1.0)
+        with pytest.raises(ValueError):
+            PartitionEvent(at_message=5, duration=0.0)
+
+    def test_trace_round_trips_through_json(self):
+        trace = FuzzTrace(seed=7, events=(
+            CrashEvent(at_message=10, victim_rank=3),
+            PartitionEvent(at_message=40, fraction=0.25, duration=12.5),
+            CrashEvent(at_message=90, victim="coordinator")))
+        data = json.loads(json.dumps(trace.as_dict()))
+        assert FuzzTrace.from_dict(data) == trace
+        with pytest.raises(ValueError):
+            FuzzTrace.from_dict({"seed": 1, "events": [{"kind": "meteor"}]})
+
+    def test_single_crash_trace_equals_legacy_schedule(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=12, churn_events=4)
+        schedule = CrashSchedule(seed=19, message_index=90, victim_rank=2)
+        legacy = fuzzer.run_schedule(schedule)
+        trace = FuzzTrace(seed=19, events=(
+            CrashEvent(at_message=90, victim_rank=2),))
+        assert trace.as_schedule() == schedule
+        modern = fuzzer.run_trace(trace)
+        assert modern.fingerprint == legacy.fingerprint
+        assert modern.victims == legacy.victims
+
+    def test_multi_crash_sequence_converges(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=16, churn_events=4)
+        total = fuzzer.baseline_messages(29)
+        trace = FuzzTrace(seed=29, events=(
+            CrashEvent(at_message=total // 3, victim_rank=1),
+            CrashEvent(at_message=2 * total // 3, victim_rank=5)))
+        outcome = fuzzer.run_trace(trace)
+        assert outcome.error is None
+        assert len(outcome.victims) == 2
+        assert len(set(outcome.victims)) == 2        # two distinct deaths
+        assert outcome.converged, outcome
+
+    def test_partition_window_armed_at_message_index(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=14, churn_events=4)
+        baseline = fuzzer.run_schedule(CrashSchedule(seed=23,
+                                                     message_index=None))
+        marks = dict(baseline.phase_marks)
+        trace = FuzzTrace(seed=23, events=(
+            PartitionEvent(at_message=marks["churn"] + 2, fraction=0.3,
+                           duration=100000.0),))
+        outcome = fuzzer.run_trace(trace)
+        assert outcome.error is None
+        assert outcome.partitions_opened == 1
+        # The window was far too long to lapse on the clock: the heal
+        # phase closed it explicitly, and the overlay still converged.
+        assert outcome.partitions_healed == 1
+        assert outcome.converged, outcome
+
+    def test_coordinator_crash_during_repair_is_bounded(self):
+        """Killing the sender of a heal-phase message mid-repair.
+
+        The victim is whoever was coordinating the armed message's
+        conversation (a probe, a scrub, a retarget search).  The run must
+        terminate inside its configured bounds with a defined outcome —
+        converged, or a populated divergence surface — never a hang.
+        """
+        fuzzer = CrashScheduleFuzzer(num_objects=14, churn_events=4)
+        baseline = fuzzer.run_schedule(CrashSchedule(seed=23,
+                                                     message_index=None))
+        marks = dict(baseline.phase_marks)
+        trace = FuzzTrace(seed=23, events=(
+            CrashEvent(at_message=marks["heal"] + 3, victim="coordinator"),))
+        outcome = fuzzer.run_trace(trace)
+        assert outcome.error is None
+        assert outcome.crash_phase == "heal"
+        assert len(outcome.victims) == 1
+        assert outcome.heal_cycles <= fuzzer.max_heal_cycles
+        assert outcome.converged, outcome
+
+    def test_trace_replay_is_deterministic(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=14, churn_events=4)
+        trace = FuzzTrace(seed=31, events=(
+            CrashEvent(at_message=60, victim_rank=4),
+            PartitionEvent(at_message=100, fraction=0.4, duration=60.0),
+            CrashEvent(at_message=150, victim="coordinator")))
+        first = fuzzer.run_trace(trace)
+        second = fuzzer.run_trace(trace)
+        assert first.fingerprint == second.fingerprint
+        assert first == second
+
+    def test_sweep_with_partitions_and_multi_crash(self):
+        fuzzer = CrashScheduleFuzzer(num_objects=12, churn_events=4)
+        report = fuzzer.run_sweep(11, 4, crashes=2, partition_fraction=0.3,
+                                  partition_duration=5000.0)
+        assert report.schedules_run == 4
+        assert report.partitions_opened == 4
+        assert report.partitions_healed == 4     # every window closed
+        assert report.crashes_fired >= 4
+        assert report.converged, [o.trace.as_dict() for o in report.failures]
 
 
 # ----------------------------------------------------------------------
@@ -236,3 +349,34 @@ class TestCli:
     def test_replay_parse_errors(self):
         with pytest.raises(SystemExit):
             main(["--replay", "not-a-triple"])
+
+    def test_replay_trace_file(self, tmp_path, capsys):
+        trace = FuzzTrace(seed=5, events=(
+            CrashEvent(at_message=40, victim_rank=2),))
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace.as_dict()), encoding="utf-8")
+        assert main(["--replay-trace", str(path), "--objects", "10",
+                     "--churn", "2"]) == 0
+        assert capsys.readouterr().out.startswith("ok seed=5")
+
+    def test_replay_trace_accepts_failure_artifact_shape(self, tmp_path,
+                                                         capsys):
+        # The --output artifact nests the trace under "trace"; replay
+        # must accept that file as-is.
+        trace = FuzzTrace(seed=5, events=(
+            CrashEvent(at_message=40, victim_rank=2),
+            PartitionEvent(at_message=60, fraction=0.3, duration=30.0)))
+        artifact = [{"converged": False, "trace": trace.as_dict()}]
+        path = tmp_path / "failures.json"
+        path.write_text(json.dumps(artifact), encoding="utf-8")
+        assert main(["--replay-trace", str(path), "--objects", "10",
+                     "--churn", "2"]) == 0
+        assert "partitions=1" in capsys.readouterr().out
+
+    def test_sweep_partition_and_multi_crash_flags(self, capsys):
+        assert main(["--seed", "5", "--schedules", "2", "--objects", "10",
+                     "--churn", "2", "--crashes", "2",
+                     "--partition-fraction", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 partitions opened" in out
+        assert "0 failures" in out

@@ -5,11 +5,15 @@ Uses the simlint SIM004 collectors over the shipped sources, so a new
 fails here with a named diff even before the CI lint gate runs.
 
 The crash-at-any-message hardening (operation watchdogs, idempotent
-retries, the fuzz harness) deliberately adds **no** new kinds: a retry
+retries, the fuzz harness) deliberately added **no** new kinds: a retry
 re-sends one of the existing eighteen, and timeouts are engine-scheduled
-events, not messages.  The pin below therefore stays at exactly the set
-the pre-hardening protocol shipped with — growth here needs a design
-reason, not just a new code path.
+events, not messages.  The partition-merge subsystem *did* grow the set
+— deliberately, as a genuinely new protocol phase: ``MERGE_DIGEST``
+(version-stamped anti-entropy flood across a healed cut) and
+``MERGE_RECONCILE`` (its bidirectional ack) have no equivalent among the
+repair kinds, whose scrubs presume a shared live kernel rather than two
+diverged forks.  The pin is now twenty; further growth still needs a
+design reason, not just a new code path.
 """
 
 from pathlib import Path
@@ -26,6 +30,7 @@ EXPECTED_KINDS = frozenset({
     "SEARCH_LONG_LINK", "LONG_LINK_ESTABLISHED", "LONG_LINK_RETARGET",
     "REGION_UPDATE", "BACKLINK_TRANSFER", "BACKLINK_REMOVE",
     "VIEW_SCRUB", "SUSPECT_NOTIFY",
+    "MERGE_DIGEST", "MERGE_RECONCILE",
     "PING", "PONG",
     "QUERY", "QUERY_ANSWER",
 })
